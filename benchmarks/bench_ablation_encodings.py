@@ -1,0 +1,76 @@
+"""Ablation — encoding design choices (DESIGN.md §3, EXPERIMENTS.md notes).
+
+The reproduction exposes three encoding knobs the paper fixes implicitly:
+
+* ``fuse``            — collapse element-level sequences into the element node;
+* ``compact_lists``   — empty list as ``#`` instead of ``R*(#,#)``;
+* ``abstract_values`` — two-valued text content instead of one constant.
+
+This bench sweeps all eight combinations on the library transformation
+and reports (a) the canonical machine size and (b) whether the
+*document-only* teaching sample learns it — quantifying exactly which
+choices the paper's claims depend on.
+"""
+
+import itertools
+
+from repro.errors import LearningError
+from repro.transducers.minimize import canonicalize
+from repro.workloads.library import (
+    library_document,
+    library_input_dtd,
+    library_output_dtd,
+    library_teaching_examples,
+    transform_library,
+)
+from repro.xml.pipeline import learn_xml_transformation
+
+from benchmarks.conftest import report
+
+
+def _document_route(fuse, compact, abstract):
+    try:
+        transformation = learn_xml_transformation(
+            library_input_dtd(),
+            library_output_dtd(),
+            library_teaching_examples(),
+            fuse_input=fuse,
+            fuse_output=fuse,
+            compact_lists=compact,
+            abstract_values=abstract,
+        )
+    except LearningError as error:
+        return f"fails ({error.kind if hasattr(error, 'kind') else 'error'})"
+    generalizes = all(
+        transformation.apply(library_document(i))
+        == transform_library(library_document(i))
+        for i in range(5)
+    )
+    flag = "generalizes+values" if generalizes else "consistent only"
+    return f"{transformation.num_states} states, {flag}"
+
+
+def test_ablation_document_learning(benchmark):
+    combos = list(itertools.product([True, False], [True, False], [True, False]))
+
+    def sweep():
+        return {
+            (fuse, compact, abstract): _document_route(fuse, compact, abstract)
+            for fuse, compact, abstract in combos
+        }
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # The paper's implicit configuration (fuse, paper lists, constant
+    # pcdata) cannot learn from documents; the full variant can.
+    assert outcomes[(True, True, True)].endswith("generalizes+values")
+    assert outcomes[(True, False, False)].startswith("fails")
+    lines = [
+        f"fuse={f} compact={c} abstract={a}: {result}"
+        for (f, c, a), result in sorted(outcomes.items(), reverse=True)
+    ]
+    report(
+        "ABL/encoding",
+        "(design-choice ablation; no paper counterpart)",
+        "; ".join(lines),
+    )

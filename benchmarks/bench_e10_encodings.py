@@ -1,0 +1,83 @@
+"""E10 — fc/ns versus DTD-based encoding (Sections 1 and 10).
+
+Claim: xmlflip cannot be realized by any DTOP on fc/ns encodings (a
+DTOP cannot change the order of nodes on a path), but is realizable —
+and learnable — on the DTD-based encoding.
+
+The impossibility is witnessed operationally: on fc/ns pairs the
+alignment of Lemma 23 has no solution (no variable's residual is
+functional), so the learner rejects the sample as inconsistent with
+*every* DTOP over that encoding.  On the DTD encoding the same
+transformation is learned and generalizes.
+"""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.automata.build import local_dtta_from_trees
+from repro.learning.rpni import rpni_dtop
+from repro.learning.sample import Sample
+from repro.workloads.xmlflip import (
+    transform_xmlflip,
+    xmlflip_document,
+    xmlflip_examples,
+    xmlflip_input_dtd,
+    xmlflip_output_dtd,
+)
+from repro.xml.fcns import fcns_encode
+from repro.xml.pipeline import learn_xml_transformation
+
+from benchmarks.conftest import report
+
+
+def _fcns_pairs():
+    pairs = []
+    for n in range(4):
+        for m in range(4):
+            doc = xmlflip_document(n, m)
+            pairs.append((fcns_encode(doc), fcns_encode(transform_xmlflip(doc))))
+    return pairs
+
+
+def test_e10_fcns_impossible(benchmark):
+    pairs = _fcns_pairs()
+    domain = local_dtta_from_trees([source for source, _ in pairs])
+
+    def attempt():
+        try:
+            rpni_dtop(Sample(pairs), domain)
+            return "learned"
+        except LearningError as error:
+            return f"rejected ({type(error).__name__})"
+
+    outcome = benchmark(attempt)
+
+    assert outcome.startswith("rejected")
+    report(
+        "E10/fcns",
+        "no DTOP on fc/ns encodings realizes xmlflip",
+        f"learner outcome on 16 fc/ns pairs: {outcome} — no functional "
+        f"variable alignment exists",
+    )
+
+
+def test_e10_dtd_encoding_possible(benchmark):
+    transformation = benchmark(
+        lambda: learn_xml_transformation(
+            xmlflip_input_dtd(),
+            xmlflip_output_dtd(),
+            xmlflip_examples(),
+            compact_lists=True,
+        )
+    )
+
+    for n, m in [(2, 3), (4, 1)]:
+        doc = xmlflip_document(n, m)
+        assert transformation.apply(doc) == transform_xmlflip(doc)
+    report(
+        "E10/dtd",
+        "on the DTD-based encoding a DTOP realizes (and learns) xmlflip",
+        f"learned {transformation.num_states}-state transducer from 4 "
+        f"document pairs; crossover: DTD encoding wins exactly where "
+        f"sibling groups must be reordered",
+    )

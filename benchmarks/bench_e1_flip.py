@@ -1,0 +1,33 @@
+"""E1 — τ_flip (Introduction + Example 7).
+
+Claim: the 4-example sample is characteristic; RPNI_dtop returns the
+minimal earliest compatible transducer M_flip with 4 states and the
+printed rules, processing border states in the order of Example 7.
+"""
+
+from repro.learning.rpni import rpni_dtop
+from repro.learning.sample import Sample
+from repro.transducers.minimize import canonicalize
+from repro.workloads.flip import flip_domain, flip_paper_sample, flip_transducer
+
+from benchmarks.conftest import report
+
+
+def test_e1_learn_flip(benchmark):
+    sample = Sample(flip_paper_sample())
+    domain = flip_domain()
+
+    learned = benchmark(lambda: rpni_dtop(sample, domain))
+
+    target = canonicalize(flip_transducer(), domain)
+    got = canonicalize(learned.dtop, domain)
+    assert got.same_translation(target)
+    merges = sum(1 for line in learned.trace if line.startswith("merge"))
+    report(
+        "E1",
+        "4 examples suffice; minimal earliest M_flip has 4 states (6 rules); "
+        "Example 7 trace: 4 promotions then 2 merges",
+        f"learned {learned.num_states} states, {len(learned.dtop.rules)} rules, "
+        f"{len(learned.trace) - merges} promotions + {merges} merges, "
+        f"equal to canonical target: {got.same_translation(target)}",
+    )

@@ -1,0 +1,32 @@
+"""E2 — earliest normal form (Examples 1–2, Sections 2–3).
+
+Claim: M1 is earliest, M2/M3 are not; all three normalize to the same
+canonical constant transducer (axiom ``b``, no states).
+"""
+
+from repro.transducers.earliest import is_earliest, to_earliest
+from repro.transducers.minimize import canonicalize
+from repro.workloads.constants import constant_m1, constant_m2, constant_m3
+
+from benchmarks.conftest import report
+
+
+def test_e2_earliest_normalization(benchmark):
+    machines = {"M1": constant_m1(), "M2": constant_m2(), "M3": constant_m3()}
+
+    def normalize_all():
+        return {name: canonicalize(machine) for name, machine in machines.items()}
+
+    forms = benchmark(normalize_all)
+
+    flags = {name: is_earliest(machine) for name, machine in machines.items()}
+    assert flags == {"M1": True, "M2": False, "M3": False}
+    assert forms["M1"].same_translation(forms["M2"])
+    assert forms["M2"].same_translation(forms["M3"])
+    assert forms["M1"].num_states == 0
+    report(
+        "E2",
+        "M1 earliest, M2/M3 not; all define the same constant translation",
+        f"earliest flags {flags}; canonical forms equal with "
+        f"{forms['M1'].num_states} states and axiom {forms['M1'].dtop.axiom}",
+    )

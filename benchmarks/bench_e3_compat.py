@@ -1,0 +1,52 @@
+"""E3 — compatibility conditions (Example 6, Section 7).
+
+Claim: on D = {f(c,a), f(c,b)}, M0 violates (C0), M2 violates (C1),
+M3 violates (C2); M1 is the unique minimal earliest compatible
+transducer (2 states) and all four canonicalize to it.
+"""
+
+from repro.transducers.minimize import (
+    canonicalize,
+    check_c0,
+    check_c1,
+    check_c2,
+    is_compatible,
+)
+from repro.workloads.compat import example6_domain, example6_machines
+
+from benchmarks.conftest import report
+
+
+def test_e3_compatibility_matrix(benchmark):
+    domain = example6_domain()
+    machines = example6_machines()
+
+    def evaluate():
+        return {
+            name: (
+                check_c0(machine, domain),
+                check_c1(machine, domain),
+                check_c2(machine, domain),
+            )
+            for name, machine in machines.items()
+        }
+
+    matrix = benchmark(evaluate)
+
+    expected = {
+        "M0": (False, True, True),
+        "M1": (True, True, True),
+        "M2": (True, False, True),
+        "M3": (True, True, False),
+    }
+    assert matrix == expected
+    assert is_compatible(machines["M1"], domain)
+    canonical = canonicalize(machines["M0"], domain)
+    assert canonical.num_states == 2
+    report(
+        "E3",
+        "M0 fails C0, M2 fails C1, M3 fails C2; minimal compatible machine "
+        "has 2 states",
+        f"matrix (C0,C1,C2) = {matrix}; canonical machine: "
+        f"{canonical.num_states} states",
+    )

@@ -1,0 +1,92 @@
+"""E4 — the Section 10 library transformation.
+
+Claims: (a) the transformation is realized by a DTOP the paper presents
+with 14 states; (b) a 4-document sample is characteristic; (c) the
+learner recovers the machine.
+
+Measured deviations (see EXPERIMENTS.md): the truly earliest machine has
+12 states — the paper's printed q_T/q_A/q_P have constant output
+(out ≠ ⊥), violating its own Definition 8; and with the paper's
+R*(#,#) list encoding the 4 documents are provably NOT characteristic
+(star-child correlation) — the generated characteristic sample, which
+contains path-closure trees, is what drives the learner home.  The
+document-only route works on the compact/abstract-value encoding.
+"""
+
+from repro.learning.charset import characteristic_sample
+from repro.learning.rpni import rpni_dtop
+from repro.transducers.minimize import canonicalize
+from repro.workloads.library import (
+    library_document,
+    library_input_dtd,
+    library_output_dtd,
+    library_teaching_examples,
+    library_transducer,
+    transform_library,
+)
+from repro.xml.encode import DTDEncoder
+from repro.xml.pipeline import learn_xml_transformation
+from repro.xml.schema import schema_dtta
+
+from benchmarks.conftest import report
+
+
+def test_e4a_canonical_machine(benchmark):
+    encoder = DTDEncoder(library_input_dtd(), fuse=True)
+    domain = schema_dtta(encoder)
+    target = library_transducer()
+
+    canonical = benchmark(lambda: canonicalize(target, domain))
+
+    assert canonical.num_states == 12
+    report(
+        "E4a",
+        "the transformation is performed by a DTOP with 14 states",
+        f"canonical minimal earliest compatible machine: "
+        f"{canonical.num_states} states, {canonical.num_rules} rules "
+        f"(paper's 14-state machine keeps non-earliest constant states)",
+    )
+
+
+def test_e4b_learn_from_characteristic_sample(benchmark):
+    encoder = DTDEncoder(library_input_dtd(), fuse=True)
+    canonical = canonicalize(library_transducer(), schema_dtta(encoder))
+    sample = characteristic_sample(canonical)
+
+    learned = benchmark(lambda: rpni_dtop(sample, canonical.domain))
+
+    assert canonicalize(learned.dtop, canonical.domain).same_translation(canonical)
+    report(
+        "E4b",
+        "a characteristic sample with 4 inputs (s0..s3) suffices",
+        f"generated characteristic sample: {len(sample)} pairs "
+        f"({sample.total_nodes} nodes, includes path-closure trees); "
+        f"learner recovers the canonical machine exactly",
+    )
+
+
+def test_e4c_document_only_route(benchmark):
+    examples = library_teaching_examples()
+
+    transformation = benchmark(
+        lambda: learn_xml_transformation(
+            library_input_dtd(),
+            library_output_dtd(),
+            examples,
+            fuse_input=True,
+            fuse_output=True,
+            compact_lists=True,
+            abstract_values=True,
+        )
+    )
+
+    for count in range(6):
+        doc = library_document(count)
+        assert transformation.apply(doc) == transform_library(doc)
+    report(
+        "E4c",
+        "learnable from example documents (swap + delete + copy)",
+        f"document-only route (compact lists + abstract values): "
+        f"{len(examples)} documents → {transformation.num_states} states, "
+        f"values carried through; generalizes to unseen libraries",
+    )

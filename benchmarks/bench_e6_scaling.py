@@ -1,0 +1,88 @@
+"""E6 — learning time is polynomial (Theorem 38).
+
+Claim: RPNI_dtop runs in time O(|M|² · |F| · K · |S|); in particular
+polynomial in the size of the minimal transducer and the sample.
+
+We sweep two families (monadic state cycles and k-ary list rotations),
+measure wall-clock learning time against the canonical machine size, and
+fit the growth exponent — the shape to check is "bounded by a small
+polynomial", not the constant.
+"""
+
+import math
+import time
+
+from repro.learning.charset import characteristic_sample
+from repro.learning.rpni import rpni_dtop
+from repro.transducers.minimize import canonicalize
+from repro.workloads.families import cycle_relabel, rotate_lists
+
+from benchmarks.conftest import report
+
+
+def _sweep(family, parameters):
+    rows = []
+    for parameter in parameters:
+        target, domain = family(parameter)
+        canonical = canonicalize(target, domain)
+        sample = characteristic_sample(canonical)
+        start = time.perf_counter()
+        learned = rpni_dtop(sample, canonical.domain)
+        elapsed = time.perf_counter() - start
+        assert learned.num_states == canonical.num_states
+        rows.append(
+            (parameter, canonical.dtop.size, sample.total_nodes, elapsed)
+        )
+    return rows
+
+
+def _fitted_exponent(rows):
+    """Least-squares slope of log(time) against log(|M| · |S|)."""
+    points = [
+        (math.log(size * nodes), math.log(max(elapsed, 1e-9)))
+        for _, size, nodes, elapsed in rows
+    ]
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    return numerator / denominator if denominator else 0.0
+
+
+def test_e6_cycle_family(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _sweep(cycle_relabel, [2, 4, 8, 12, 16]),
+        rounds=1,
+        iterations=1,
+    )
+    exponent = _fitted_exponent(rows)
+    lines = [
+        f"n={p}: |M|={size}, |S|={nodes} nodes, {elapsed * 1e3:.1f} ms"
+        for p, size, nodes, elapsed in rows
+    ]
+    assert exponent < 3.0, "learning time grows faster than cubic"
+    report(
+        "E6/cycle",
+        "learning time polynomial in |M| and |S| (Theorem 38)",
+        "; ".join(lines) + f"; fitted exponent vs |M|·|S|: {exponent:.2f}",
+    )
+
+
+def test_e6_rotation_family(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _sweep(rotate_lists, [2, 3, 4, 5, 6]),
+        rounds=1,
+        iterations=1,
+    )
+    exponent = _fitted_exponent(rows)
+    lines = [
+        f"k={p}: |M|={size}, |S|={nodes} nodes, {elapsed * 1e3:.1f} ms"
+        for p, size, nodes, elapsed in rows
+    ]
+    assert exponent < 3.0
+    report(
+        "E6/rotate",
+        "learning time polynomial in |M| and |S| (Theorem 38)",
+        "; ".join(lines) + f"; fitted exponent vs |M|·|S|: {exponent:.2f}",
+    )

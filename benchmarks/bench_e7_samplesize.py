@@ -1,0 +1,84 @@
+"""E7 — characteristic samples are polynomially small (Proposition 34).
+
+Claim: for every top-down partial function of finite index there is a
+characteristic sample whose cardinality is polynomial in |min(τ)|.
+
+We generate the sample for growing machines from two families and fit
+the growth of (a) the number of pairs and (b) total node count against
+the canonical machine size.
+"""
+
+import math
+
+from repro.learning.charset import characteristic_sample
+from repro.transducers.minimize import canonicalize
+from repro.workloads.families import cycle_relabel, rotate_lists
+
+from benchmarks.conftest import report
+
+
+def _sweep(family, parameters):
+    rows = []
+    for parameter in parameters:
+        target, domain = family(parameter)
+        canonical = canonicalize(target, domain)
+        sample = characteristic_sample(canonical)
+        rows.append(
+            (parameter, canonical.dtop.size, len(sample), sample.total_nodes)
+        )
+    return rows
+
+
+def _exponent(rows, select):
+    points = [
+        (math.log(size), math.log(max(select(row), 1)))
+        for row in rows
+        for size in [row[1]]
+    ]
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    den = sum((x - mean_x) ** 2 for x, _ in points)
+    return num / den if den else 0.0
+
+
+def test_e7_sample_cardinality(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _sweep(cycle_relabel, [2, 4, 8, 12, 16, 20]),
+        rounds=1,
+        iterations=1,
+    )
+    pair_exp = _exponent(rows, lambda row: row[2])
+    node_exp = _exponent(rows, lambda row: row[3])
+    lines = [
+        f"n={p}: |M|={size} → {pairs} pairs / {nodes} nodes"
+        for p, size, pairs, nodes in rows
+    ]
+    assert pair_exp < 3.0
+    assert node_exp < 3.5
+    report(
+        "E7/cycle",
+        "characteristic sample cardinality polynomial in |min(τ)|",
+        "; ".join(lines)
+        + f"; fitted exponents: pairs {pair_exp:.2f}, nodes {node_exp:.2f}",
+    )
+
+
+def test_e7_rotation_family(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _sweep(rotate_lists, [2, 3, 4, 5, 6]),
+        rounds=1,
+        iterations=1,
+    )
+    pair_exp = _exponent(rows, lambda row: row[2])
+    lines = [
+        f"k={p}: |M|={size} → {pairs} pairs / {nodes} nodes"
+        for p, size, pairs, nodes in rows
+    ]
+    assert pair_exp < 3.0
+    report(
+        "E7/rotate",
+        "characteristic sample cardinality polynomial in |min(τ)|",
+        "; ".join(lines) + f"; fitted pair exponent {pair_exp:.2f}",
+    )

@@ -1,0 +1,13 @@
+"""Shared reporting helpers for the experiment benchmarks.
+
+Every benchmark prints a ``[Ek] paper: … | measured: …`` line so that
+``pytest benchmarks/ --benchmark-only -s`` regenerates the full
+paper-vs-measured table recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, claim: str, measured: str) -> None:
+    print(f"\n[{experiment}] paper: {claim}")
+    print(f"[{experiment}] measured: {measured}")

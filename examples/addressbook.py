@@ -1,0 +1,109 @@
+"""A fresh scenario (not from the paper): address-book re-publication.
+
+A contact list with name / email / phone per person is republished as a
+phone directory: only name and phone survive, phone comes first, and a
+header listing all names is prepended.  This exercises the same three
+DTOP capabilities as the paper's library example — deletion (email),
+swapping (phone before name), and copying (names into the header) — on
+DTDs you could write yourself.
+
+Run:  python examples/addressbook.py
+"""
+
+from repro.xml import parse_dtd, parse_xml, serialize_xml
+from repro.xml.pipeline import learn_xml_transformation
+from repro.xml.unranked import UTree, element, text
+
+INPUT_DTD = parse_dtd(
+    """
+    <!ELEMENT CONTACTS (PERSON*) >
+    <!ELEMENT PERSON (NAME, EMAIL, PHONE) >
+    <!ELEMENT NAME #PCDATA >
+    <!ELEMENT EMAIL #PCDATA >
+    <!ELEMENT PHONE #PCDATA >
+    """
+)
+
+OUTPUT_DTD = parse_dtd(
+    """
+    <!ELEMENT DIRECTORY (HEADER, ENTRY*) >
+    <!ELEMENT HEADER (NAME*) >
+    <!ELEMENT ENTRY (PHONE, NAME) >
+    <!ELEMENT NAME #PCDATA >
+    <!ELEMENT PHONE #PCDATA >
+    """
+)
+
+
+def person(name, email, phone):
+    return element(
+        "PERSON",
+        element("NAME", text(name)),
+        element("EMAIL", text(email)),
+        element("PHONE", text(phone)),
+    )
+
+
+def target(document):
+    """The intended transformation, used only to produce the examples."""
+    people = document.children
+    names = [UTree("NAME", p.children[0].children) for p in people]
+    entries = [
+        UTree(
+            "ENTRY",
+            (
+                UTree("PHONE", p.children[2].children),
+                UTree("NAME", p.children[0].children),
+            ),
+        )
+        for p in people
+    ]
+    return UTree("DIRECTORY", (UTree("HEADER", tuple(names)),) + tuple(entries))
+
+
+# Teaching examples follow the same recipe as the library workload: vary
+# one text field at a time (byte-sum parity) and overlap list suffixes.
+P = person("al", "xx", "1000")     # all even
+Q = person("al", "xy", "1000")     # phone... no: flips EMAIL? -> see below
+R = person("am", "xx", "1000")     # flips NAME
+S = person("al", "xx", "1001")     # flips PHONE
+
+documents = [
+    element("CONTACTS"),
+    element("CONTACTS", P),
+    element("CONTACTS", R),
+    element("CONTACTS", S),
+    element("CONTACTS", Q),
+    element("CONTACTS", R, P),
+    element("CONTACTS", S, P),
+    element("CONTACTS", S, R, P),
+]
+examples = [(doc, target(doc)) for doc in documents]
+
+transformation = learn_xml_transformation(
+    INPUT_DTD,
+    OUTPUT_DTD,
+    examples,
+    fuse_input=True,
+    fuse_output=True,
+    compact_lists=True,
+    abstract_values=True,
+)
+print(
+    f"Learned {transformation.num_states} states / "
+    f"{transformation.num_rules} rules from {len(examples)} examples.\n"
+)
+
+document = parse_xml(
+    """
+    <CONTACTS>
+      <PERSON><NAME>Ada Lovelace</NAME><EMAIL>ada@analytical.example</EMAIL><PHONE>+44 1815</PHONE></PERSON>
+      <PERSON><NAME>Alan Turing</NAME><EMAIL>alan@bletchley.example</EMAIL><PHONE>+44 1936</PHONE></PERSON>
+    </CONTACTS>
+    """
+)
+print("Input:")
+print(serialize_xml(document))
+print()
+print("Output:")
+print(serialize_xml(transformation.apply(document)))

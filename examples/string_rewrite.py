@@ -1,0 +1,52 @@
+"""Learning string transducers through the tree learner (Related Work §1).
+
+The paper notes that its result, applied to monadic trees, infers
+minimal sequential string transducers — subsuming OSTIA-style learning.
+Here we learn two classic sequential functions from examples:
+
+* letter duplication  (abc → aabbcc), and
+* word-final punctuation with letter swap (ab → ba!).
+
+Run:  python examples/string_rewrite.py
+"""
+
+from repro.strings import learn_string_transducer
+
+
+def show(title, examples, probes):
+    sst, learned = learn_string_transducer(examples)
+    print(title)
+    print("-" * len(title))
+    print(f"examples: {examples}")
+    print(sst.describe())
+    for probe in probes:
+        print(f"  {probe!r} → {sst.apply(probe)!r}")
+    print()
+
+
+# ---------------------------------------------------------------------------
+# 1. Duplicate every letter.
+# ---------------------------------------------------------------------------
+def duplicate(word):
+    return "".join(ch + ch for ch in word)
+
+
+show(
+    "Letter duplication",
+    [(w, duplicate(w)) for w in ["", "a", "b", "ab", "ba", "aa", "bb"]],
+    ["abab", "bbba"],
+)
+
+
+# ---------------------------------------------------------------------------
+# 2. Swap a↔b and append '!' — needs a final-output function.
+# ---------------------------------------------------------------------------
+def swap_bang(word):
+    return word.translate(str.maketrans("ab", "ba")) + "!"
+
+
+show(
+    "Swap letters, then append '!'",
+    [(w, swap_bang(w)) for w in ["", "a", "b", "ab", "ba", "aa", "bb"]],
+    ["abba", "b"],
+)

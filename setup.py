@@ -1,0 +1,16 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 517 editable-install path is unavailable; this file lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` route.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

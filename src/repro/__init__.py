@@ -1,0 +1,37 @@
+"""repro — learning top-down XML transformations from examples.
+
+A complete implementation of Lemay, Maneth & Niehren, *A Learning
+Algorithm for Top-Down XML Transformations* (PODS 2010): deterministic
+top-down tree transducers, their Myhill–Nerode theory (earliest normal
+form, canonical minimal compatible machine), the ``RPNI_dtop`` learner
+with characteristic samples, and the DTD-based encoding that makes the
+theory work on real XML.
+
+The most common entry points are re-exported here; the subpackages
+(:mod:`repro.trees`, :mod:`repro.automata`, :mod:`repro.transducers`,
+:mod:`repro.learning`, :mod:`repro.xml`, :mod:`repro.strings`,
+:mod:`repro.workloads`) hold the full API.
+"""
+
+from repro.trees import RankedAlphabet, Tree, parse_term
+from repro.automata import DTTA
+from repro.transducers import DTOP, canonicalize, equivalent_on
+from repro.learning import Sample, characteristic_sample, rpni_dtop
+from repro.xml.pipeline import learn_xml_transformation
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "RankedAlphabet",
+    "Tree",
+    "parse_term",
+    "DTTA",
+    "DTOP",
+    "canonicalize",
+    "equivalent_on",
+    "Sample",
+    "characteristic_sample",
+    "rpni_dtop",
+    "learn_xml_transformation",
+    "__version__",
+]

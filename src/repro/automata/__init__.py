@@ -1,0 +1,35 @@
+"""Deterministic top-down tree automata (DTTAs).
+
+A DTTA recognizes a path-closed tree language (Proposition 2 of the
+paper); it is the device the learning algorithm receives as the domain
+description.  This package provides the automaton itself plus the
+operations the rest of the library needs: trimming, minimization,
+canonical forms, products, and witness trees.
+"""
+
+from repro.automata.dtta import DTTA
+from repro.automata.ops import (
+    nonempty_states,
+    trim,
+    minimize,
+    canonical_form,
+    equivalent,
+    product,
+    minimal_witness_trees,
+    enumerate_language,
+)
+from repro.automata.build import universal_dtta, local_dtta_from_trees
+
+__all__ = [
+    "DTTA",
+    "nonempty_states",
+    "trim",
+    "minimize",
+    "canonical_form",
+    "equivalent",
+    "product",
+    "minimal_witness_trees",
+    "enumerate_language",
+    "universal_dtta",
+    "local_dtta_from_trees",
+]

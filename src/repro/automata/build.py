@@ -1,0 +1,61 @@
+"""Constructing DTTAs: the universal automaton and local inference.
+
+The learning algorithm of the paper *receives* the domain automaton; it
+does not infer it.  For convenience (and for the examples), we provide a
+sound heuristic that infers a *local* DTTA from positive example trees:
+the allowed labels at a child position are taken to depend only on the
+(parent label, child index) pair.  Languages of DTD-encodings are local in
+exactly this sense, so the heuristic recovers the intended domain for all
+DTD-derived workloads; for non-local path-closed languages it yields the
+smallest local over-approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.automata.dtta import DTTA, State
+from repro.errors import AutomatonError
+from repro.trees.alphabet import RankedAlphabet, Symbol
+from repro.trees.tree import Tree
+
+
+def universal_dtta(alphabet: RankedAlphabet) -> DTTA:
+    """The one-state DTTA accepting every tree over ``alphabet``."""
+    transitions = {
+        ("*", symbol): ("*",) * rank for symbol, rank in alphabet.items()
+    }
+    return DTTA(alphabet, "*", transitions)
+
+
+def local_dtta_from_trees(trees: Iterable[Tree]) -> DTTA:
+    """Infer the smallest *local* DTTA consistent with the example trees.
+
+    States are contexts: the root context ``("", 0)`` or a
+    (parent label, child index) pair.  A symbol is allowed in a context iff
+    it occurs there in some example.  The inferred language always contains
+    the examples and is path-closed by construction.
+    """
+    trees = list(trees)
+    if not trees:
+        raise AutomatonError("cannot infer a domain from zero examples")
+    alphabet = RankedAlphabet.from_trees(trees)
+    root_context: State = ("", 0)
+    allowed: Dict[State, Set[Symbol]] = {}
+
+    def visit(node: Tree, context: State) -> None:
+        allowed.setdefault(context, set()).add(node.label)
+        for index, child in enumerate(node.children, start=1):
+            visit(child, (node.label, index))
+
+    for example in trees:
+        visit(example, root_context)
+
+    transitions: Dict[Tuple[State, Symbol], Tuple[State, ...]] = {}
+    for context, symbols in allowed.items():
+        for symbol in symbols:
+            rank = alphabet.rank(symbol)
+            transitions[(context, symbol)] = tuple(
+                (symbol, index) for index in range(1, rank + 1)
+            )
+    return DTTA(alphabet, root_context, transitions)

@@ -1,0 +1,148 @@
+"""The deterministic top-down tree automaton (DTTA).
+
+The paper defines a DTTA as a DTOP realizing a partial identity — every
+rule has the shape ``q(f(x1,…,xk)) → f(⟨q1,x1⟩,…,⟨qk,xk⟩)``.  We represent
+it directly by its transition structure: a partial map
+``(state, symbol) ↦ (child state, …)``.  Languages of DTTAs are exactly
+the path-closed tree languages (Proposition 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import AutomatonError, PathError
+from repro.trees.alphabet import RankedAlphabet, Symbol
+from repro.trees.paths import Path
+from repro.trees.tree import Tree
+
+State = Hashable
+Transitions = Mapping[Tuple[State, Symbol], Tuple[State, ...]]
+
+
+class DTTA:
+    """A deterministic top-down tree automaton.
+
+    Parameters
+    ----------
+    alphabet:
+        The ranked input alphabet ``F``.
+    initial:
+        The initial state (processes the root).
+    transitions:
+        Partial map ``(state, f) ↦ (d1, …, dk)`` with ``k = rank(f)``.
+        A tree is accepted iff the unique top-down run is everywhere
+        defined.
+
+    The state set is implicit: every state mentioned in ``initial`` or the
+    transitions.  Determinism is structural (it is a map).
+    """
+
+    __slots__ = ("alphabet", "initial", "transitions", "_states")
+
+    def __init__(
+        self,
+        alphabet: RankedAlphabet,
+        initial: State,
+        transitions: Transitions,
+    ):
+        checked: Dict[Tuple[State, Symbol], Tuple[State, ...]] = {}
+        states = {initial}
+        for (state, symbol), children in transitions.items():
+            children = tuple(children)
+            if symbol not in alphabet:
+                raise AutomatonError(f"transition uses unknown symbol {symbol!r}")
+            if len(children) != alphabet.rank(symbol):
+                raise AutomatonError(
+                    f"transition ({state!r}, {symbol!r}) has {len(children)} "
+                    f"children but rank({symbol!r}) = {alphabet.rank(symbol)}"
+                )
+            checked[(state, symbol)] = children
+            states.add(state)
+            states.update(children)
+        self.alphabet = alphabet
+        self.initial = initial
+        self.transitions: Dict[Tuple[State, Symbol], Tuple[State, ...]] = checked
+        self._states: FrozenSet[State] = frozenset(states)
+
+    @property
+    def states(self) -> FrozenSet[State]:
+        return self._states
+
+    def allowed_symbols(self, state: State) -> Tuple[Symbol, ...]:
+        """Symbols ``f`` with a transition from ``state``, sorted."""
+        return tuple(
+            sorted(s for (d, s) in self.transitions if d == state)
+        )
+
+    def step(self, state: State, symbol: Symbol) -> Optional[Tuple[State, ...]]:
+        """The child states for ``(state, symbol)``, or ``None``."""
+        return self.transitions.get((state, symbol))
+
+    def accepts_from(self, state: State, node: Tree) -> bool:
+        """Does the run from ``state`` succeed on ``node``?"""
+        children = self.transitions.get((state, node.label))
+        if children is None or len(children) != node.arity:
+            return False
+        return all(
+            self.accepts_from(child_state, child)
+            for child_state, child in zip(children, node.children)
+        )
+
+    def accepts(self, node: Tree) -> bool:
+        """Membership in ``L(A)``."""
+        return self.accepts_from(self.initial, node)
+
+    def state_at_path(self, path: Path) -> Optional[State]:
+        """The state processing the node addressed by a labeled path.
+
+        Returns ``None`` if the path is not consistent with the automaton
+        (no tree of ``L(A)`` can contain it — necessary condition only:
+        child emptiness is not checked here; use a trimmed automaton to
+        make it exact).
+        """
+        state = self.initial
+        for label, index in path:
+            children = self.transitions.get((state, label))
+            if children is None or not 1 <= index <= len(children):
+                return None
+            state = children[index - 1]
+        return state
+
+    def restricted_alphabet(self) -> RankedAlphabet:
+        """The sub-alphabet actually used by some transition."""
+        used = {symbol for (_, symbol) in self.transitions}
+        return RankedAlphabet(
+            {s: r for s, r in self.alphabet.items() if s in used}
+        )
+
+    def rename(self, mapping: Mapping[State, State]) -> "DTTA":
+        """Return an isomorphic copy with states renamed by ``mapping``."""
+
+        def name(state: State) -> State:
+            return mapping.get(state, state)
+
+        return DTTA(
+            self.alphabet,
+            name(self.initial),
+            {
+                (name(d), f): tuple(name(c) for c in children)
+                for (d, f), children in self.transitions.items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DTTA(states={len(self._states)}, "
+            f"transitions={len(self.transitions)}, initial={self.initial!r})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing of the transitions."""
+        lines = [f"initial: {self.initial!r}"]
+        for (state, symbol), children in sorted(
+            self.transitions.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+        ):
+            args = ", ".join(repr(c) for c in children)
+            lines.append(f"  {state!r} --{symbol}--> ({args})")
+        return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Command-line interface: learn and apply XML transformations.
+
+Usage (also via ``python -m repro``)::
+
+    # Learn from example pairs and save the transformation:
+    python -m repro learn --input-dtd in.dtd --output-dtd out.dtd \
+        --examples pairs_dir --save transform.json \
+        [--fuse] [--compact-lists] [--abstract-values]
+
+    # Apply a saved transformation to a document:
+    python -m repro apply --transform transform.json doc.xml
+
+    # Show a saved transducer as an XSLT-like stylesheet:
+    python -m repro show --transform transform.json
+
+The examples directory contains pairs ``NAME.in.xml`` / ``NAME.out.xml``.
+The saved artifact is a single JSON file bundling the transducer, the
+domain automaton, both DTDs, and the encoding flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serialize import dtop_from_data, dtop_to_data, dtta_from_data, dtta_to_data
+from repro.xml.dtd import parse_dtd
+from repro.xml.encode import DTDEncoder
+from repro.xml.pipeline import XMLTransformation, learn_xml_transformation
+from repro.xml.unranked import UTree
+from repro.xml.xmlio import parse_xml, serialize_xml
+from repro.xml.xslt import to_xslt
+
+BUNDLE_FORMAT = "repro/xml-transformation@1"
+
+
+def _load_examples(directory: Path) -> List[Tuple[UTree, UTree]]:
+    pairs = []
+    for input_path in sorted(directory.glob("*.in.xml")):
+        output_path = input_path.with_name(
+            input_path.name.replace(".in.xml", ".out.xml")
+        )
+        if not output_path.exists():
+            raise ReproError(f"missing output document for {input_path.name}")
+        pairs.append(
+            (
+                parse_xml(input_path.read_text(), ignore_attributes=True),
+                parse_xml(output_path.read_text(), ignore_attributes=True),
+            )
+        )
+    if not pairs:
+        raise ReproError(f"no *.in.xml examples found in {directory}")
+    return pairs
+
+
+def save_transformation(transformation: XMLTransformation, path: Path) -> None:
+    """Persist a learned transformation (transducer + DTDs + flags)."""
+    bundle = {
+        "format": BUNDLE_FORMAT,
+        "transducer": dtop_to_data(transformation.transducer),
+        "domain": dtta_to_data(transformation.domain),
+        "input_dtd": transformation.input_encoder.dtd.describe(),
+        "input_start": transformation.input_encoder.dtd.start,
+        "output_dtd": transformation.output_encoder.dtd.describe(),
+        "output_start": transformation.output_encoder.dtd.start,
+        "flags": {
+            "fuse_input": transformation.input_encoder.fuse,
+            "fuse_output": transformation.output_encoder.fuse,
+            "compact_lists": transformation.input_encoder.compact_lists,
+            "abstract_values": transformation.input_encoder.abstract_values,
+        },
+    }
+    path.write_text(json.dumps(bundle, indent=2, ensure_ascii=False))
+
+
+def load_transformation(path: Path) -> XMLTransformation:
+    """Load a transformation saved by :func:`save_transformation`."""
+    bundle = json.loads(path.read_text())
+    if bundle.get("format") != BUNDLE_FORMAT:
+        raise ReproError(f"{path} is not a {BUNDLE_FORMAT} bundle")
+    flags = bundle["flags"]
+    input_encoder = DTDEncoder(
+        parse_dtd(bundle["input_dtd"], start=bundle["input_start"]),
+        fuse=flags["fuse_input"],
+        compact_lists=flags["compact_lists"],
+        abstract_values=flags["abstract_values"],
+    )
+    output_encoder = DTDEncoder(
+        parse_dtd(bundle["output_dtd"], start=bundle["output_start"]),
+        fuse=flags["fuse_output"],
+        compact_lists=flags["compact_lists"],
+        abstract_values=flags["abstract_values"],
+    )
+    return XMLTransformation(
+        transducer=dtop_from_data(bundle["transducer"]),
+        input_encoder=input_encoder,
+        output_encoder=output_encoder,
+        domain=dtta_from_data(bundle["domain"]),
+    )
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    input_dtd = parse_dtd(Path(args.input_dtd).read_text())
+    output_dtd = parse_dtd(Path(args.output_dtd).read_text())
+    examples = _load_examples(Path(args.examples))
+    transformation = learn_xml_transformation(
+        input_dtd,
+        output_dtd,
+        examples,
+        fuse_input=args.fuse,
+        fuse_output=args.fuse,
+        compact_lists=args.compact_lists,
+        abstract_values=args.abstract_values,
+    )
+    print(
+        f"learned {transformation.num_states} states / "
+        f"{transformation.num_rules} rules from {len(examples)} examples"
+    )
+    if args.save:
+        save_transformation(transformation, Path(args.save))
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_apply(args: argparse.Namespace) -> int:
+    transformation = load_transformation(Path(args.transform))
+    document = parse_xml(Path(args.document).read_text(), ignore_attributes=True)
+    result = transformation.apply(document)
+    output = serialize_xml(result)
+    if args.output:
+        Path(args.output).write_text(output + "\n")
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    transformation = load_transformation(Path(args.transform))
+    if args.as_xslt:
+        print(to_xslt(transformation.transducer))
+    else:
+        print(transformation.transducer.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learn and apply top-down XML transformations (PODS 2010).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    learn = commands.add_parser("learn", help="learn from example documents")
+    learn.add_argument("--input-dtd", required=True)
+    learn.add_argument("--output-dtd", required=True)
+    learn.add_argument(
+        "--examples", required=True, help="directory of NAME.in.xml/NAME.out.xml"
+    )
+    learn.add_argument("--save", help="write the learned transformation here")
+    learn.add_argument("--fuse", action="store_true")
+    learn.add_argument("--compact-lists", action="store_true")
+    learn.add_argument("--abstract-values", action="store_true")
+    learn.set_defaults(func=_cmd_learn)
+
+    apply_cmd = commands.add_parser("apply", help="apply a saved transformation")
+    apply_cmd.add_argument("--transform", required=True)
+    apply_cmd.add_argument("document")
+    apply_cmd.add_argument("--output")
+    apply_cmd.set_defaults(func=_cmd_apply)
+
+    show = commands.add_parser("show", help="print a saved transducer")
+    show.add_argument("--transform", required=True)
+    show.add_argument("--as-xslt", action="store_true")
+    show.set_defaults(func=_cmd_show)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Shared exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class TreeError(ReproError):
+    """Malformed tree, bad node address, or arity violation."""
+
+
+class PathError(TreeError):
+    """A labeled path or node address does not belong to a tree."""
+
+
+class ParseError(ReproError):
+    """A term, XML document, DTD, or content model failed to parse."""
+
+
+class AlphabetError(ReproError):
+    """A symbol is used with a rank inconsistent with its alphabet."""
+
+
+class AutomatonError(ReproError):
+    """Ill-formed deterministic top-down tree automaton."""
+
+
+class TransducerError(ReproError):
+    """Ill-formed deterministic top-down tree transducer."""
+
+
+class UndefinedTransductionError(TransducerError):
+    """The transducer is undefined on the given input tree."""
+
+
+class DomainError(ReproError):
+    """An input tree lies outside the domain language under consideration."""
+
+
+class LearningError(ReproError):
+    """The learning algorithm could not complete."""
+
+
+class InsufficientSampleError(LearningError):
+    """The sample is not characteristic: required evidence is missing.
+
+    Raised when the learner needs information that a characteristic sample
+    (Definition 31 of the paper) is guaranteed to contain, but the supplied
+    sample lacks — e.g. no example realizes a path the domain automaton
+    allows, or the variable alignment of Lemma 23 is ambiguous.
+
+    Structured attributes let interactive front-ends
+    (:mod:`repro.learning.active`) turn the failure into targeted queries:
+
+    ``kind``
+        one of ``"missing-path"`` (condition (T)), ``"alignment"``
+        (condition (O): no or several variable candidates), or
+        ``"merge-ambiguity"`` (condition (N)).
+    ``u``, ``symbol``, ``v``
+        the input path / input symbol / output path involved, when known.
+    ``candidates``
+        the ambiguous variable indices or mergeable OK states.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "unknown",
+        u=None,
+        symbol=None,
+        v=None,
+        candidates=(),
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.u = u
+        self.symbol = symbol
+        self.v = v
+        self.candidates = tuple(candidates)
+
+
+class InconsistentSampleError(LearningError):
+    """The sample is not a partial function, or contradicts the domain."""
+
+
+class NotTopDownError(LearningError):
+    """The target relation provably violates Definition 16 (top-down)."""
+
+
+class DTDError(ParseError):
+    """Invalid DTD declaration or content model."""
+
+
+class AmbiguousContentModelError(DTDError):
+    """A child sequence admits more than one parse against a content model.
+
+    The paper restricts DTDs to 1-unambiguous regular expressions; our parse
+    engine accepts any regular expression but raises this error when the
+    uniqueness assumption is violated by an actual document.
+    """
+
+
+class EncodingError(ReproError):
+    """A ranked tree is not a valid DTD-encoding, or encoding failed."""

@@ -1,0 +1,321 @@
+"""An interactive (Angluin-style) front-end for the Gold-style learner.
+
+The paper's conclusion suggests that ``RPNI_dtop`` "could be used as
+core in an interactive learner in Angluin-style".  This module realizes
+that suggestion: instead of requiring a characteristic sample up front,
+:func:`learn_actively` drives a *translation oracle* (anything that maps
+an input tree to its output — a human, a legacy XSLT program, a
+reference implementation):
+
+1. learn from the current sample;
+2. when the learner reports missing evidence
+   (:class:`~repro.errors.InsufficientSampleError` carries structured
+   fields), synthesize targeted membership queries — inputs through the
+   missing path, or variant inputs that disambiguate a variable
+   alignment or a state merge — and ask the oracle;
+3. when a hypothesis is produced, stress it against the oracle on
+   enumerated and random domain members (a sampled equivalence query);
+   counterexamples are added and the loop continues;
+4. stop when no counterexample is found.
+
+Termination: every query grows the sample, and once the sample contains
+a characteristic one, Theorem 38 guarantees exactness — so for targets
+of finite index the loop converges; ``max_rounds`` bounds pathological
+oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.automata.dtta import DTTA, State as DState
+from repro.automata.ops import (
+    canonical_form,
+    enumerate_language,
+    minimal_witness_trees,
+)
+from repro.errors import InsufficientSampleError, LearningError
+from repro.trees.paths import Path
+from repro.trees.tree import Tree
+from repro.learning.rpni import LearnedDTOP, rpni_dtop
+from repro.learning.sample import Sample
+
+#: A translation oracle: returns the output tree, or None off-domain.
+Oracle = Callable[[Tree], Optional[Tree]]
+
+
+@dataclass
+class ActiveLearningResult:
+    """Outcome of :func:`learn_actively` with query statistics."""
+
+    learned: LearnedDTOP
+    sample: Sample
+    rounds: int
+    membership_queries: int
+    equivalence_tests: int
+    log: List[str] = field(default_factory=list)
+
+
+class _QueryEngine:
+    """Synthesizes query inputs from domain structure."""
+
+    def __init__(self, domain: DTTA, rng: random.Random, variants_per_state: int):
+        self.domain = domain
+        self.rng = rng
+        self.min_trees = minimal_witness_trees(domain)
+        self.variants_per_state = variants_per_state
+        self._pool: Dict[DState, List[Tree]] = {}
+
+    def members_of(self, dstate: DState) -> List[Tree]:
+        """A small pool of trees of ``L(A, dstate)``, smallest first."""
+        if dstate not in self._pool:
+            self._pool[dstate] = list(
+                enumerate_language(
+                    self.domain, dstate, limit=self.variants_per_state
+                )
+            )
+        return self._pool[dstate]
+
+    def tree_through(
+        self,
+        u: Path,
+        symbol: Optional[str] = None,
+        grafts: Optional[Dict[int, Tree]] = None,
+    ) -> Optional[Tree]:
+        """A tree following the labeled path ``u`` (rooted ``symbol`` at
+        its end when given), minimal elsewhere; ``grafts`` overrides the
+        children of the final node by index."""
+        grafts = grafts or {}
+
+        def build(dstate: DState, remaining: Path) -> Optional[Tree]:
+            if not remaining:
+                if symbol is None:
+                    return self.min_trees.get(dstate)
+                children_d = self.domain.step(dstate, symbol)
+                if children_d is None:
+                    return None
+                children = []
+                for k, child_d in enumerate(children_d, start=1):
+                    child = grafts.get(k, self.min_trees.get(child_d))
+                    if child is None:
+                        return None
+                    children.append(child)
+                return Tree(symbol, tuple(children))
+            (label, index), rest = remaining[0], remaining[1:]
+            children_d = self.domain.step(dstate, label)
+            if children_d is None or not 1 <= index <= len(children_d):
+                return None
+            children = []
+            for k, child_d in enumerate(children_d, start=1):
+                if k == index:
+                    child = build(child_d, rest)
+                else:
+                    child = self.min_trees.get(child_d)
+                if child is None:
+                    return None
+                children.append(child)
+            return Tree(label, tuple(children))
+
+        return build(self.domain.initial, u)
+
+    def queries_for(self, error: InsufficientSampleError) -> List[Tree]:
+        """Inputs whose translations supply the evidence ``error`` asks for."""
+        queries: List[Tree] = []
+        if error.kind == "missing-path" and error.symbol is not None:
+            base = self.tree_through(error.u, error.symbol)
+            if base is not None:
+                queries.append(base)
+            # Also vary each child of the final node so out_S gets a real ⊥.
+            children_d = self.domain.step(
+                self.domain.state_at_path(error.u), error.symbol
+            )
+            if children_d:
+                for k, child_d in enumerate(children_d, start=1):
+                    for member in self.members_of(child_d):
+                        tree = self.tree_through(
+                            error.u, error.symbol, grafts={k: member}
+                        )
+                        if tree is not None:
+                            queries.append(tree)
+        elif error.kind == "alignment" and error.symbol is not None:
+            # Vary one child at a time: wrong variables become visibly
+            # non-functional, the right one stays functional.
+            dstate = self.domain.state_at_path(error.u)
+            children_d = self.domain.step(dstate, error.symbol) or ()
+            for k, child_d in enumerate(children_d, start=1):
+                for member in self.members_of(child_d):
+                    tree = self.tree_through(
+                        error.u, error.symbol, grafts={k: member}
+                    )
+                    if tree is not None:
+                        queries.append(tree)
+        elif error.kind == "merge-ambiguity":
+            # Graft shared subtrees under the border path and each OK
+            # state's path, so conflicting translations become visible.
+            paths = [error.u] + [ok_u for ok_u, _ok_v in error.candidates]
+            shared_state = self.domain.state_at_path(error.u)
+            for member in self.members_of(shared_state):
+                for path in paths:
+                    tree = self._graft_at(path, member)
+                    if tree is not None:
+                        queries.append(tree)
+        return queries
+
+    def _graft_at(self, u: Path, subtree: Tree) -> Optional[Tree]:
+        def build(dstate: DState, remaining: Path) -> Optional[Tree]:
+            if not remaining:
+                return subtree
+            (label, index), rest = remaining[0], remaining[1:]
+            children_d = self.domain.step(dstate, label)
+            if children_d is None or not 1 <= index <= len(children_d):
+                return None
+            children = []
+            for k, child_d in enumerate(children_d, start=1):
+                child = (
+                    build(child_d, rest)
+                    if k == index
+                    else self.min_trees.get(child_d)
+                )
+                if child is None:
+                    return None
+                children.append(child)
+            return Tree(label, tuple(children))
+
+        return build(self.domain.initial, u)
+
+    def random_member(
+        self, max_height: int = 8, grow_probability: float = 0.8
+    ) -> Tree:
+        """A random member of ``L(A)`` (random moves, minimal closing).
+
+        Branching symbols are preferred with ``grow_probability`` while
+        the height budget lasts; otherwise member lengths would be
+        geometric and deep counterexamples would almost never be probed.
+        """
+
+        def build(dstate: DState, budget: int) -> Tree:
+            options = list(self.domain.allowed_symbols(dstate))
+            if budget <= 1 or not options:
+                return self.min_trees[dstate]
+            growing = [
+                symbol
+                for symbol in options
+                if self.domain.step(dstate, symbol)
+            ]
+            if growing and self.rng.random() < grow_probability:
+                symbol = self.rng.choice(growing)
+            else:
+                symbol = self.rng.choice(options)
+            children_d = self.domain.step(dstate, symbol) or ()
+            return Tree(
+                symbol, tuple(build(d, budget - 1) for d in children_d)
+            )
+
+        return build(self.domain.initial, max_height)
+
+
+def learn_actively(
+    oracle: Oracle,
+    domain: DTTA,
+    initial_examples: Iterable[Tuple[Tree, Tree]] = (),
+    max_rounds: int = 60,
+    equivalence_tests: int = 80,
+    variants_per_state: int = 4,
+    rng: Optional[random.Random] = None,
+) -> ActiveLearningResult:
+    """Learn a transducer by querying a translation oracle.
+
+    ``oracle(tree)`` must return the translation of any tree of
+    ``L(domain)`` (``None`` is treated as "refuse", and the query is
+    dropped — useful when the true domain is smaller than ``domain``).
+    """
+    rng = rng or random.Random(0)
+    domain = canonical_form(domain)
+    engine = _QueryEngine(domain, rng, variants_per_state)
+    pairs: Dict[Tree, Tree] = {}
+    log: List[str] = []
+    membership = 0
+
+    def ask(tree: Tree) -> None:
+        nonlocal membership
+        if tree in pairs or not domain.accepts(tree):
+            return
+        membership += 1
+        output = oracle(tree)
+        if output is not None:
+            pairs[tree] = output
+
+    for source, target in initial_examples:
+        pairs.setdefault(source, target)
+    if not pairs:
+        ask(engine.min_trees[domain.initial])
+        for member in engine.members_of(domain.initial):
+            ask(member)
+
+    equivalence_runs = 0
+    for round_index in range(1, max_rounds + 1):
+        try:
+            learned = rpni_dtop(Sample(pairs.items()), domain)
+        except InsufficientSampleError as error:
+            queries = engine.queries_for(error)
+            if not queries:
+                raise LearningError(
+                    f"cannot synthesize queries for: {error}"
+                ) from error
+            before = len(pairs)
+            for query in queries:
+                ask(query)
+            log.append(
+                f"round {round_index}: {error.kind} → {len(queries)} queries "
+                f"({len(pairs) - before} new examples)"
+            )
+            if len(pairs) == before:
+                raise LearningError(
+                    f"oracle refused all queries needed for: {error}"
+                ) from error
+            continue
+        # Sampled equivalence query.  Probe depth scales with the
+        # hypothesis: distinguishing inputs for an N-state machine can
+        # need Θ(N) deep trees (e.g. an N-state relabeling cycle).
+        depth_cap = 2 * max(learned.num_states, 1) + 4
+        counterexample = None
+        for trial in range(equivalence_tests):
+            probe = (
+                engine.random_member(max_height=4 + trial % depth_cap)
+                if trial % 2
+                else None
+            )
+            if probe is None:
+                pool = engine.members_of(domain.initial)
+                probe = pool[trial // 2 % len(pool)] if pool else None
+            if probe is None:
+                break
+            equivalence_runs += 1
+            expected = oracle(probe)
+            if expected is None:
+                continue
+            if learned.dtop.try_apply(probe) != expected:
+                counterexample = (probe, expected)
+                break
+        if counterexample is None:
+            log.append(f"round {round_index}: hypothesis accepted")
+            return ActiveLearningResult(
+                learned=learned,
+                sample=Sample(pairs.items()),
+                rounds=round_index,
+                membership_queries=membership,
+                equivalence_tests=equivalence_runs,
+                log=log,
+            )
+        pairs[counterexample[0]] = counterexample[1]
+        log.append(
+            f"round {round_index}: counterexample of size "
+            f"{counterexample[0].size} added"
+        )
+    raise LearningError(
+        f"no stable hypothesis after {max_rounds} rounds "
+        f"({membership} membership queries); the target may not be a "
+        f"top-down function of finite index on this domain"
+    )

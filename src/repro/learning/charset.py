@@ -1,0 +1,214 @@
+"""Characteristic samples (Section 8, Proposition 34).
+
+Given the canonical transducer of a target translation ``τ``, build a
+sample ``S ⊆ τ`` satisfying Definition 31:
+
+* (C) consistency — every pair is produced by running the transducer;
+* (A) ``out_S(ε) = out_τ(ε)`` — for each ``⊥`` of the axiom output we add
+  two inputs whose outputs differ there (a *witness pair* of the state);
+* (T) ``out_S(u·f) = out_τ(u·f)`` for every state-io-path ``(u,v)`` and
+  allowed symbol ``f`` — variant pairs along the stopped run of the
+  machine knock every ``⊥`` of ``out_τ(u·f)`` down;
+* (O) unique variable alignment — the same variant pairs make the
+  residual of every *wrong* variable non-functional (they fix all input
+  subtrees except the controlling one);
+* (N) separation — for every state-io-path ``p1`` and border io-path
+  ``p2`` with equal restricted domains but inequivalent target states, a
+  distinguishing input is grafted under both paths.
+
+The sample size is polynomial in the size of the canonical transducer
+(Proposition 34); benchmark E7 measures the actual growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.dtta import State as DState
+from repro.automata.ops import minimal_witness_trees
+from repro.errors import LearningError
+from repro.trees.paths import Path
+from repro.trees.substitution import replace_at_path
+from repro.trees.tree import Tree
+from repro.transducers.minimize import CanonicalDTOP
+from repro.transducers.rhs import Call, StateName
+from repro.learning.distinguish import distinguishing_inputs, witness_pairs
+from repro.learning.iopaths import state_io_paths, trans_io_paths
+from repro.learning.sample import Sample
+
+PathPair = Tuple[Path, Path]
+
+
+class _SampleBuilder:
+    """Accumulates (input, output) pairs, deduplicated, outputs by the target."""
+
+    def __init__(self, canonical: CanonicalDTOP):
+        self.canonical = canonical
+        self.pairs: Dict[Tree, Tree] = {}
+
+    def add(self, source: Tree) -> None:
+        if source not in self.pairs:
+            self.pairs[source] = self.canonical.dtop.apply(source)
+
+    def sample(self) -> Sample:
+        return Sample(sorted(self.pairs.items(), key=lambda st: (st[0].size, str(st[0]))))
+
+
+def _frontier_entries(
+    canonical: CanonicalDTOP, u: Path, final_symbol: Optional[str]
+) -> List[Tuple[Path, StateName]]:
+    """The stopped run of the canonical machine along ``u`` (and ``f``).
+
+    Returns ``(controlling input path, state)`` for every state call that
+    remains pending after reading ``u`` — these are exactly the ``⊥``
+    positions of ``out_τ(u)`` (resp. ``out_τ(u·f)`` when ``final_symbol``
+    is given), because every state of an earliest machine has
+    ``out(q) = ⊥``.
+    """
+    dtop = canonical.dtop
+    domain = canonical.domain
+    collected: List[Tuple[Path, StateName]] = []
+    frontier: List[StateName] = [
+        node.label.state
+        for _, node in dtop.axiom.subtrees()
+        if isinstance(node.label, Call)
+    ]
+    prefix: Path = ()
+    for label, index in u:
+        new_frontier: List[StateName] = []
+        for state in frontier:
+            rhs = dtop.rules[(state, label)]
+            for _, node in rhs.subtrees():
+                if isinstance(node.label, Call):
+                    if node.label.var == index:
+                        new_frontier.append(node.label.state)
+                    else:
+                        collected.append(
+                            (prefix + ((label, node.label.var),), node.label.state)
+                        )
+        prefix = prefix + ((label, index),)
+        frontier = new_frontier
+    if final_symbol is None:
+        collected.extend((prefix, state) for state in frontier)
+    else:
+        for state in frontier:
+            rhs = dtop.rules[(state, final_symbol)]
+            for _, node in rhs.subtrees():
+                if isinstance(node.label, Call):
+                    collected.append(
+                        (prefix + ((final_symbol, node.label.var),), node.label.state)
+                    )
+    return collected
+
+
+def _base_tree(
+    canonical: CanonicalDTOP,
+    min_trees: Dict[DState, Tree],
+    u: Path,
+    final_symbol: Optional[str] = None,
+) -> Tree:
+    """A smallest-ish input containing ``u`` (and rooted ``f`` at its end).
+
+    Off-path children carry the minimal witness tree of their domain
+    state.
+    """
+    domain = canonical.domain
+
+    def build(dstate: DState, remaining: Path) -> Tree:
+        if not remaining:
+            if final_symbol is None:
+                return min_trees[dstate]
+            children_d = domain.transitions[(dstate, final_symbol)]
+            return Tree(final_symbol, tuple(min_trees[d] for d in children_d))
+        (label, index), rest = remaining[0], remaining[1:]
+        children_d = domain.transitions[(dstate, label)]
+        children = [
+            build(d, rest) if i == index else min_trees[d]
+            for i, d in enumerate(children_d, start=1)
+        ]
+        return Tree(label, tuple(children))
+
+    return build(domain.initial, u)
+
+
+def _graft(
+    canonical: CanonicalDTOP,
+    min_trees: Dict[DState, Tree],
+    u: Path,
+    subtree: Tree,
+) -> Tree:
+    """A base tree along ``u`` whose subtree at ``u`` is ``subtree``."""
+    domain = canonical.domain
+
+    def build(dstate: DState, remaining: Path) -> Tree:
+        if not remaining:
+            return subtree
+        (label, index), rest = remaining[0], remaining[1:]
+        children_d = domain.transitions[(dstate, label)]
+        children = [
+            build(d, rest) if i == index else min_trees[d]
+            for i, d in enumerate(children_d, start=1)
+        ]
+        return Tree(label, tuple(children))
+
+    return build(domain.initial, u)
+
+
+def characteristic_sample(canonical: CanonicalDTOP) -> Sample:
+    """Build a characteristic sample for the translation of ``canonical``.
+
+    The input must be a canonical transducer
+    (:func:`repro.transducers.minimize.canonicalize`); the construction
+    realizes Proposition 34 and the resulting sample provably drives
+    :func:`repro.learning.rpni.rpni_dtop` to return ``min(τ)``.
+    """
+    builder = _SampleBuilder(canonical)
+    domain = canonical.domain
+    min_trees = minimal_witness_trees(domain)
+    witnesses = witness_pairs(canonical, min_trees)
+    sio = state_io_paths(canonical)
+
+    def add_variants(u: Path, final_symbol: Optional[str]) -> None:
+        base = _base_tree(canonical, min_trees, u, final_symbol)
+        builder.add(base)
+        for ctrl, state in _frontier_entries(canonical, u, final_symbol):
+            for witness in witnesses[state]:
+                # Graft into the *base* tree (which contains u·f), not a
+                # fresh minimal tree — otherwise the variant would not
+                # count towards out_S(u·f) and condition (T) would only
+                # hold below the state's own output path.
+                builder.add(replace_at_path(base, ctrl, witness))
+
+    # (A): realize out_τ(ε) exactly.
+    add_variants((), None)
+
+    # (T) + (O): realize out_τ(u·f) and pin the variable alignment for
+    # every state-io-path and allowed input symbol.
+    for state in sorted(sio, key=str):
+        u, _v = sio[state]
+        dstate = canonical.state_domain[state]
+        for symbol in domain.allowed_symbols(dstate):
+            add_variants(u, symbol)
+
+    # (N): separate every (state-io-path, border-io-path) pair whose
+    # restricted domains agree but whose states differ.
+    separators = distinguishing_inputs(canonical)
+    borders = trans_io_paths(canonical, sio)
+    for state_1 in sorted(sio, key=str):
+        p1 = sio[state_1]
+        d1 = canonical.state_domain[state_1]
+        for p2, state_2 in borders:
+            if state_2 == state_1:
+                continue
+            if canonical.state_domain[state_2] != d1:
+                continue
+            separator = separators.get((state_1, state_2))
+            if separator is None:
+                raise LearningError(
+                    f"canonical states {state_1!r} and {state_2!r} share a "
+                    f"domain but have no separating input; the transducer "
+                    f"is not canonical"
+                )
+            builder.add(_graft(canonical, min_trees, p1[0], separator))
+            builder.add(_graft(canonical, min_trees, p2[0], separator))
+    return builder.sample()

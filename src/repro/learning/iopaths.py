@@ -1,0 +1,96 @@
+"""State- and transition-io-paths of a canonical transducer (Definition 29).
+
+The *io-path of a state* ``q`` is the least (w.r.t. the total order ``<``
+of Section 8) io-path of ``τ`` that reaches ``q`` in ``min(τ)``; the
+io-path of a transition ``(q, f, v')`` extends the state's io-path by the
+step into the rule.  These are the names under which the learner
+rediscovers the states, so the characteristic sample is built around
+exactly these paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Tuple
+
+from repro.trees.paths import Path, pair_order_key
+from repro.trees.tree import Tree
+from repro.transducers.minimize import CanonicalDTOP
+from repro.transducers.rhs import Call, StateName
+
+PathPair = Tuple[Path, Path]
+
+
+def calls_with_labeled_paths(rhs: Tree) -> List[Tuple[Path, Call]]:
+    """All ``(labeled output path, call)`` pairs of an rhs tree, in order."""
+    found: List[Tuple[Path, Call]] = []
+
+    def visit(node: Tree, lpath: Path) -> None:
+        if isinstance(node.label, Call):
+            found.append((lpath, node.label))
+            return
+        for i, child in enumerate(node.children, start=1):
+            visit(child, lpath + ((node.label, i),))
+
+    visit(rhs, ())
+    return found
+
+
+def state_io_paths(canonical: CanonicalDTOP) -> Dict[StateName, PathPair]:
+    """The least io-path reaching each state (``io-path_q``, Definition 29).
+
+    Dijkstra over the rule graph with the total order ``<`` on pairs:
+    appending a step always increases a path, so the first settlement of
+    a state is its least io-path.
+    """
+    dtop = canonical.dtop
+    best: Dict[StateName, PathPair] = {}
+    counter = itertools.count()
+    heap: List[Tuple[object, int, StateName, PathPair]] = []
+
+    def push(state: StateName, pair: PathPair) -> None:
+        heapq.heappush(heap, (pair_order_key(pair), next(counter), state, pair))
+
+    for v, call in calls_with_labeled_paths(dtop.axiom):
+        push(call.state, ((), v))
+    while heap:
+        _key, _tick, state, pair = heapq.heappop(heap)
+        if state in best:
+            continue
+        best[state] = pair
+        u, v = pair
+        for (q, symbol), rhs in dtop.rules.items():
+            if q != state:
+                continue
+            for v_rel, call in calls_with_labeled_paths(rhs):
+                push(call.state, (u + ((symbol, call.var),), v + v_rel))
+    return best
+
+
+def trans_io_paths(
+    canonical: CanonicalDTOP,
+    state_paths: Dict[StateName, PathPair] = None,
+) -> List[Tuple[PathPair, StateName]]:
+    """All transition io-paths ``io-path_{q,f,v'}`` with their target states.
+
+    Includes the axiom's io-paths ``(ε, v')`` (the border states the
+    learner starts from), so that the (N) family of the characteristic
+    sample covers every merge the learner will ever attempt.
+    """
+    dtop = canonical.dtop
+    if state_paths is None:
+        state_paths = state_io_paths(canonical)
+    result: List[Tuple[PathPair, StateName]] = []
+    for v, call in calls_with_labeled_paths(dtop.axiom):
+        result.append((((), v), call.state))
+    for (state, symbol), rhs in sorted(
+        dtop.rules.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        if state not in state_paths:
+            continue
+        u, v = state_paths[state]
+        for v_rel, call in calls_with_labeled_paths(rhs):
+            pair = (u + ((symbol, call.var),), v + v_rel)
+            result.append((pair, call.state))
+    return result

@@ -1,0 +1,48 @@
+"""The mergeability criterion (Definition 30 of the paper).
+
+Two pairs of paths are mergeable w.r.t. a sample ``S`` and a domain ``D``
+when (1) their restricted domains coincide — ``u1⁻¹(D) = u2⁻¹(D)`` —
+and (2) the sample contains no input subtree on which their residuals
+disagree.  Condition (1) is decided on the *minimized* domain automaton,
+where equal restricted domains are equal states; condition (2) compares
+the finite residual maps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.automata.dtta import DTTA
+from repro.trees.paths import Path
+from repro.learning.sample import Sample
+
+PathPair = Tuple[Path, Path]
+
+
+def same_restricted_domain(domain: DTTA, u1: Path, u2: Path) -> bool:
+    """``u1⁻¹(L(A)) = u2⁻¹(L(A))`` on a minimized, trimmed DTTA.
+
+    On a minimal automaton, distinct states have distinct languages, so
+    equality of restricted domains is equality of the states reached.
+    """
+    return domain.state_at_path(u1) == domain.state_at_path(u2)
+
+
+def mergeable(sample: Sample, domain: DTTA, p1: PathPair, p2: PathPair) -> bool:
+    """Definition 30: are ``p1`` and ``p2`` mergeable w.r.t. ``S`` and ``D``?
+
+    ``domain`` must be minimized (use
+    :func:`repro.automata.ops.canonical_form` or ``minimize``).
+    """
+    if not same_restricted_domain(domain, p1[0], p2[0]):
+        return False
+    map1 = sample.residual_map(p1)
+    map2 = sample.residual_map(p2)
+    if map1 is None or map2 is None:
+        # A non-functional residual disagrees with itself on some input.
+        return False
+    for sub_in, sub_out in map1.items():
+        other = map2.get(sub_in)
+        if other is not None and other != sub_out:
+            return False
+    return True

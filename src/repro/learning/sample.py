@@ -1,0 +1,181 @@
+"""Finite samples of a translation and their semantic operations.
+
+A sample ``S`` is a finite partial function from input trees to output
+trees (``S ⊆ τ``, condition (C) of Definition 31).  The learner never
+sees ``τ`` itself — every quantity it uses (``out_S(u)``, residuals
+``p⁻¹S``, io-paths of ``S``) is computed from the sample by the methods
+of :class:`Sample`, with memoization since the learner asks for the same
+paths repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import InconsistentSampleError
+from repro.trees.lcp import BOTTOM_SYMBOL, lcp_many
+from repro.trees.paths import (
+    Path,
+    belongs,
+    subtree_at_path,
+    try_subtree_at_path,
+)
+from repro.trees.tree import Tree
+
+PathPair = Tuple[Path, Path]
+
+
+class Sample:
+    """An immutable finite sub-relation of a tree translation.
+
+    Construction rejects relations that are not partial functions
+    (duplicate inputs with distinct outputs — the sample could then not
+    be a subset of any function).
+    """
+
+    def __init__(self, pairs: Iterable[Tuple[Tree, Tree]]):
+        mapping: Dict[Tree, Tree] = {}
+        ordered: List[Tuple[Tree, Tree]] = []
+        for source, target in pairs:
+            if source in mapping:
+                if mapping[source] != target:
+                    raise InconsistentSampleError(
+                        f"two outputs for the same input {source}"
+                    )
+                continue
+            mapping[source] = target
+            ordered.append((source, target))
+        self._pairs: Tuple[Tuple[Tree, Tree], ...] = tuple(ordered)
+        self._map = mapping
+        self._out_cache: Dict[Path, Optional[Tree]] = {}
+        self._residual_cache: Dict[PathPair, Tuple[Tuple[Tree, Tree], ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic relation view
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Tuple[Tree, Tree]]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        return isinstance(pair, tuple) and len(pair) == 2 and (
+            self._map.get(pair[0]) == pair[1]
+        )
+
+    @property
+    def pairs(self) -> Tuple[Tuple[Tree, Tree], ...]:
+        return self._pairs
+
+    def output_of(self, source: Tree) -> Optional[Tree]:
+        """The sample's output for an input tree, if present."""
+        return self._map.get(source)
+
+    def merged_with(self, other: Iterable[Tuple[Tree, Tree]]) -> "Sample":
+        """A new sample with the union of the pairs (checks consistency)."""
+        return Sample(tuple(self._pairs) + tuple(other))
+
+    @property
+    def total_nodes(self) -> int:
+        """Sum of all input and output tree sizes (sample "weight")."""
+        return sum(s.size + t.size for s, t in self._pairs)
+
+    # ------------------------------------------------------------------
+    # Semantic operations
+    # ------------------------------------------------------------------
+
+    def inputs_containing(self, u: Path) -> List[Tuple[Tree, Tree]]:
+        """All sample pairs whose input contains the labeled path ``u``."""
+        return [(s, t) for s, t in self._pairs if belongs(u, s)]
+
+    def out(self, u: Path) -> Optional[Tree]:
+        """``out_S(u) = ⊔ {S(s) | u =| s}`` — ``None`` when no input has ``u``.
+
+        Section 3's maximal output, computed on the finite sample.
+        """
+        if u in self._out_cache:
+            return self._out_cache[u]
+        outputs = [t for _, t in self.inputs_containing(u)]
+        result = lcp_many(outputs) if outputs else None
+        self._out_cache[u] = result
+        return result
+
+    def out_npath(self, u: Path, symbol: object) -> Optional[Tree]:
+        """``out_S(u·f)`` for the node-path ``u·f``.
+
+        Because trees are ranked, a tree contains ``u·f`` iff it contains
+        the path ``u·(f,1)`` (or has an ``f``-labeled node at ``u`` when
+        ``f`` is a constant); we filter on the node label directly.
+        """
+        key = u + ((symbol, 0),)  # impossible child index: private cache key
+        if key in self._out_cache:
+            return self._out_cache[key]
+        outputs = []
+        for s, t in self._pairs:
+            node = try_subtree_at_path(s, u)
+            if node is not None and node.label == symbol:
+                outputs.append(t)
+        result = lcp_many(outputs) if outputs else None
+        self._out_cache[key] = result
+        return result
+
+    def residual(self, p: PathPair) -> Tuple[Tuple[Tree, Tree], ...]:
+        """Definition 5: ``p⁻¹S = {(u⁻¹s, v⁻¹t) | (s,t) ∈ S, u =| s, v =| t}``."""
+        if p in self._residual_cache:
+            return self._residual_cache[p]
+        u, v = p
+        items: List[Tuple[Tree, Tree]] = []
+        seen = set()
+        for s, t in self._pairs:
+            sub_in = try_subtree_at_path(s, u)
+            if sub_in is None:
+                continue
+            sub_out = try_subtree_at_path(t, v)
+            if sub_out is None:
+                continue
+            if (sub_in, sub_out) not in seen:
+                seen.add((sub_in, sub_out))
+                items.append((sub_in, sub_out))
+        result = tuple(items)
+        self._residual_cache[p] = result
+        return result
+
+    def residual_functional(self, p: PathPair) -> bool:
+        """Is ``p⁻¹S`` a partial function?"""
+        outputs: Dict[Tree, Tree] = {}
+        for sub_in, sub_out in self.residual(p):
+            if outputs.setdefault(sub_in, sub_out) != sub_out:
+                return False
+        return True
+
+    def residual_map(self, p: PathPair) -> Optional[Dict[Tree, Tree]]:
+        """``p⁻¹S`` as a mapping, or ``None`` if not functional."""
+        outputs: Dict[Tree, Tree] = {}
+        for sub_in, sub_out in self.residual(p):
+            if outputs.setdefault(sub_in, sub_out) != sub_out:
+                return None
+        return outputs
+
+    def is_io_path(self, p: PathPair) -> bool:
+        """Definition 10 on the sample: ``out_S(u)[v] = ⊥`` and functionality."""
+        u, v = p
+        out = self.out(u)
+        if out is None:
+            return False
+        current = out
+        for label, index in v:
+            if current.label != label or not 1 <= index <= current.arity:
+                return False
+            current = current.children[index - 1]
+        if current.label is not BOTTOM_SYMBOL:
+            return False
+        return self.residual_functional(p)
+
+    def __repr__(self) -> str:
+        return f"Sample({len(self._pairs)} pairs, {self.total_nodes} nodes)"
+
+    def describe(self) -> str:
+        """Multi-line listing ``input → output``."""
+        return "\n".join(f"{s}  →  {t}" for s, t in self._pairs)

@@ -1,0 +1,32 @@
+"""Sequential string transducers via monadic trees.
+
+The paper notes (Related Work) that its result, applied to translations
+over monadic trees, infers minimal (sub)sequential string transducers —
+subsuming OSTIA-style learning.  This package provides the word ↔
+monadic-tree adapters and a sequential-transducer wrapper around the
+generic DTOP learner.
+"""
+
+from repro.strings.words import (
+    END_LABEL,
+    word_to_tree,
+    tree_to_word,
+    word_alphabet,
+    words_dtta,
+)
+from repro.strings.sst import (
+    SequentialStringTransducer,
+    sst_from_dtop,
+    learn_string_transducer,
+)
+
+__all__ = [
+    "END_LABEL",
+    "word_to_tree",
+    "tree_to_word",
+    "word_alphabet",
+    "words_dtta",
+    "SequentialStringTransducer",
+    "sst_from_dtop",
+    "learn_string_transducer",
+]

@@ -1,0 +1,148 @@
+"""Sequential string transducers and their inference.
+
+A *sequential* (a.k.a. subsequential) string transducer emits an output
+word per consumed input letter, plus an initial prefix and a per-state
+final suffix.  Over monadic trees these are exactly the DTOPs whose
+right-hand sides are non-copying chains, so the generic learner yields
+the minimal *earliest* (onward, in OSTIA terminology) sequential
+transducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.automata.dtta import DTTA
+from repro.errors import TransducerError
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import Call, StateName
+from repro.learning.rpni import LearnedDTOP, rpni_dtop
+from repro.learning.sample import Sample
+from repro.strings.words import END_LABEL, tree_to_word, word_to_tree, words_dtta
+
+
+@dataclass
+class SequentialStringTransducer:
+    """A sequential string transducer ``(Q, q0-prefix, δ, final)``.
+
+    ``transitions[(q, a)] = (q', w)``: reading ``a`` in ``q`` outputs
+    ``w`` and moves to ``q'``; ``final[q]``: suffix emitted at the end of
+    the input; ``prefix``: emitted before reading anything.
+    """
+
+    initial: Optional[StateName]
+    prefix: str
+    transitions: Dict[Tuple[StateName, str], Tuple[StateName, str]]
+    final: Dict[StateName, str]
+
+    @property
+    def states(self) -> List[StateName]:
+        found = set(self.final)
+        for (q, _a), (q2, _w) in self.transitions.items():
+            found.add(q)
+            found.add(q2)
+        if self.initial is not None:
+            found.add(self.initial)
+        return sorted(found, key=str)
+
+    def apply(self, word: str) -> str:
+        """Translate a word; raises :class:`TransducerError` off-domain."""
+        out = [self.prefix]
+        state = self.initial
+        if state is None:
+            # Constant transducer: the prefix is the whole output.
+            return self.prefix
+        for letter in word:
+            try:
+                state, emitted = self.transitions[(state, letter)]
+            except KeyError:
+                raise TransducerError(
+                    f"undefined on letter {letter!r} in state {state!r}"
+                ) from None
+            out.append(emitted)
+        if state not in self.final:
+            raise TransducerError(f"state {state!r} is not final")
+        out.append(self.final[state])
+        return "".join(out)
+
+    def describe(self) -> str:
+        lines = [f"prefix: {self.prefix!r}, initial: {self.initial!r}"]
+        for (q, a), (q2, w) in sorted(
+            self.transitions.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+        ):
+            lines.append(f"  {q} --{a}:{w!r}--> {q2}")
+        for q, w in sorted(self.final.items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  {q} ⊣ {w!r}")
+        return "\n".join(lines)
+
+
+def _chain_of(rhs: Tree, end_label: str) -> Tuple[str, Optional[Call]]:
+    """Decompose a monadic rhs into (output word, trailing call or None)."""
+    letters: List[str] = []
+    node = rhs
+    while True:
+        if isinstance(node.label, Call):
+            return "".join(letters), node.label
+        if node.label == end_label:
+            return "".join(letters), None
+        if node.arity != 1:
+            raise TransducerError(
+                f"rhs {rhs} is not a monadic chain; the DTOP is not sequential"
+            )
+        letters.append(str(node.label))
+        node = node.children[0]
+
+
+def sst_from_dtop(
+    dtop: DTOP, end_label: str = END_LABEL
+) -> SequentialStringTransducer:
+    """View a monadic, non-copying DTOP as a sequential string transducer.
+
+    ``end_label`` is the rank-0 end-of-word marker used by both the
+    input and output alphabets (default ``⊣``).
+    """
+    prefix, axiom_call = _chain_of(dtop.axiom, end_label)
+    initial = axiom_call.state if axiom_call else None
+    transitions: Dict[Tuple[StateName, str], Tuple[StateName, str]] = {}
+    final: Dict[StateName, str] = {}
+    for (state, symbol), rhs in dtop.rules.items():
+        word, call = _chain_of(rhs, end_label)
+        if symbol == end_label:
+            if call is not None:
+                raise TransducerError("rule on ⊣ cannot call a state")
+            final[state] = word
+        else:
+            if call is None:
+                raise TransducerError(
+                    f"rule ({state!r}, {symbol!r}) deletes the rest of the "
+                    f"input; sequential transducers cannot"
+                )
+            transitions[(state, symbol)] = (call.state, word)
+    return SequentialStringTransducer(initial, prefix, transitions, final)
+
+
+def learn_string_transducer(
+    examples: Iterable[Tuple[str, str]],
+    letters: Optional[Iterable[str]] = None,
+    domain: Optional[DTTA] = None,
+) -> Tuple[SequentialStringTransducer, LearnedDTOP]:
+    """Learn a sequential string transducer from (input, output) words.
+
+    ``letters`` defaults to the letters occurring in the example inputs;
+    ``domain`` defaults to all words over them.  The examples must be a
+    characteristic sample of the target (use
+    :func:`repro.learning.charset.characteristic_sample` on a DTOP target
+    to generate one).
+    """
+    examples = list(examples)
+    if letters is None:
+        letters = sorted({ch for source, _ in examples for ch in source})
+    if domain is None:
+        domain = words_dtta(letters)
+    sample = Sample(
+        (word_to_tree(source), word_to_tree(target)) for source, target in examples
+    )
+    learned = rpni_dtop(sample, domain)
+    return sst_from_dtop(learned.dtop), learned

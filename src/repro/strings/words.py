@@ -1,0 +1,57 @@
+"""Words as monadic trees.
+
+A word ``a1 a2 … an`` is the tree ``a1(a2(…(⊣)…))`` where every letter
+is a unary symbol and ``⊣`` is the rank-0 end marker.  Translations of
+monadic trees realized by DTOPs are exactly the sequential string
+functions; everything the library does for trees (canonical forms,
+characteristic samples, learning) then specializes to strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.automata.dtta import DTTA
+from repro.errors import TreeError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree
+
+#: The end-of-word marker (rank 0).
+END_LABEL = "⊣"
+
+
+def word_alphabet(letters: Iterable[str]) -> RankedAlphabet:
+    """The monadic ranked alphabet for the given letters plus ``⊣``."""
+    ranks = {letter: 1 for letter in letters}
+    ranks[END_LABEL] = 0
+    return RankedAlphabet(ranks)
+
+
+def word_to_tree(word: str) -> Tree:
+    """``"abc" ↦ a(b(c(⊣)))``."""
+    node = Tree(END_LABEL, ())
+    for letter in reversed(word):
+        node = Tree(letter, (node,))
+    return node
+
+
+def tree_to_word(tree: Tree) -> str:
+    """Invert :func:`word_to_tree`; raises on non-monadic trees."""
+    letters = []
+    node = tree
+    while node.label != END_LABEL:
+        if node.arity != 1 or not isinstance(node.label, str):
+            raise TreeError(f"not a monadic word tree: {tree}")
+        letters.append(node.label)
+        node = node.children[0]
+    if node.arity != 0:
+        raise TreeError(f"malformed end marker in {tree}")
+    return "".join(letters)
+
+
+def words_dtta(letters: Iterable[str]) -> DTTA:
+    """The one-state DTTA accepting all words over the given letters."""
+    alphabet = word_alphabet(letters)
+    transitions = {("w", letter): ("w",) for letter in letters}
+    transitions[("w", END_LABEL)] = ()
+    return DTTA(alphabet, "w", transitions)

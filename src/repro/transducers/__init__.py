@@ -1,0 +1,42 @@
+"""Deterministic top-down tree transducers (DTOPs).
+
+The paper's central object (Definition 1): states, an axiom over
+``T_G(Q × {x0})``, and rules ``q(f(x1,…,xk)) → t`` with ``t`` over
+``T_G(Q × Xk)``.  This package provides the transducer itself, its
+semantics, its implicit domain automaton, the *earliest* normal form
+(Section 3), and the canonical minimal earliest compatible transducer
+(Sections 6–7) together with a decision procedure for equivalence.
+"""
+
+from repro.transducers.rhs import Call, calls_in, rhs_tree, is_call, is_pure
+from repro.transducers.dtop import DTOP
+from repro.transducers.run import run_stopped, reaches, state_sequence
+from repro.transducers.domain import domain_dtta, effective_domain
+from repro.transducers.earliest import is_earliest, out_table, to_earliest
+from repro.transducers.minimize import (
+    CanonicalDTOP,
+    canonicalize,
+    equivalent_on,
+    is_compatible,
+)
+
+__all__ = [
+    "Call",
+    "calls_in",
+    "rhs_tree",
+    "is_call",
+    "is_pure",
+    "DTOP",
+    "run_stopped",
+    "reaches",
+    "state_sequence",
+    "domain_dtta",
+    "effective_domain",
+    "is_earliest",
+    "out_table",
+    "to_earliest",
+    "CanonicalDTOP",
+    "canonicalize",
+    "equivalent_on",
+    "is_compatible",
+]

@@ -1,0 +1,147 @@
+"""Composition of DTOPs.
+
+Deterministic top-down tree transducers are closed under composition
+(Engelfriet's classical result [8] cited by the paper; for total DTOPs
+the product construction below is exact).  Composition is useful in the
+learning context for building targets ("apply the learned cleanup, then
+the learned rendering") and for testing — e.g. composing ``τ_flip`` with
+itself yields the identity on its domain, which the equivalence checker
+can verify.
+
+Construction: states of ``second ∘ first`` are pairs ``(q2, q1)``.  The
+rule for ``((q2, q1), f)`` is obtained by *symbolically* running
+``second`` from ``q2`` over the right-hand side ``rhs1(q1, f)``: output
+symbols of ``first`` are consumed by ``second``'s rules immediately,
+and when ``second`` (in state ``p``) meets a call ``⟨q1', x_i⟩`` of
+``first``, the composed machine emits ``⟨(p, q1'), x_i⟩``.
+
+The construction is exact whenever ``second`` is defined on every
+intermediate output it is fed; if some symbolic run gets stuck, the
+composed transducer simply lacks that rule (its domain shrinks
+accordingly), mirroring the semantics of function composition of
+partial functions — except that deleted-then-required checks cannot be
+expressed, exactly the inspection caveat of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import TransducerError, UndefinedTransductionError
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import Call, StateName
+
+
+class _Stuck(Exception):
+    """Symbolic evaluation met an undefined rule of the outer machine."""
+
+
+def _symbolic(second: DTOP, state: StateName, part: Tree, pending: Set) -> Tree:
+    """Run ``second`` from ``state`` over an rhs tree of ``first``.
+
+    Calls of ``first`` become composed-state calls; output of ``first``
+    is consumed by ``second``'s rules on the fly.
+    """
+    label = part.label
+    if isinstance(label, Call):
+        pending.add((state, label.state))
+        return Tree(Call((state, label.state), label.var), ())
+    rhs2 = second.rhs(state, label)
+    if rhs2 is None:
+        raise _Stuck(state, label)
+    return _instantiate(second, rhs2, part, pending)
+
+
+def _instantiate(second: DTOP, rhs2: Tree, part: Tree, pending: Set) -> Tree:
+    label = rhs2.label
+    if isinstance(label, Call):
+        return _symbolic(second, label.state, part.children[label.var - 1], pending)
+    if rhs2.is_leaf:
+        return rhs2
+    return Tree(
+        label,
+        tuple(_instantiate(second, child, part, pending) for child in rhs2.children),
+    )
+
+
+def compose(first: DTOP, second: DTOP) -> DTOP:
+    """The DTOP computing ``second(first(s))``.
+
+    Requires the output alphabet of ``first`` to be contained in the
+    input alphabet of ``second``.  For inputs where ``second`` is
+    undefined on an intermediate output that the symbolic construction
+    cannot resolve, the composed transducer is undefined too (possibly
+    on a slightly larger set — deletion interacts with inspection, see
+    the module docstring).
+    """
+    for symbol, rank in first.output_alphabet.items():
+        if symbol in second.input_alphabet and (
+            second.input_alphabet.rank(symbol) != rank
+        ):
+            raise TransducerError(
+                f"intermediate symbol {symbol!r} has rank {rank} from the "
+                f"first machine but {second.input_alphabet.rank(symbol)} "
+                f"into the second"
+            )
+
+    pending: Set[Tuple[StateName, StateName]] = set()
+    try:
+        axiom = _compose_axioms(first, second, pending)
+    except _Stuck as stuck:
+        raise TransducerError(
+            f"the outer transducer is undefined on the inner axiom "
+            f"(state {stuck.args[0]!r} on symbol {stuck.args[1]!r})"
+        ) from None
+
+    rules: Dict[Tuple[Tuple[StateName, StateName], str], Tree] = {}
+    done: Set[Tuple[StateName, StateName]] = set()
+    while pending - done:
+        q2, q1 = sorted(pending - done, key=repr)[0]
+        done.add((q2, q1))
+        for symbol in first.input_alphabet:
+            rhs1 = first.rhs(q1, symbol)
+            if rhs1 is None:
+                continue
+            try:
+                rules[((q2, q1), symbol)] = _symbolic(second, q2, rhs1, pending)
+            except _Stuck:
+                continue  # composed machine undefined here
+    return DTOP(first.input_alphabet, second.output_alphabet, axiom, rules)
+
+
+def _compose_axioms(first: DTOP, second: DTOP, pending: Set) -> Tree:
+    """Push ``second``'s axiom through ``first``'s axiom."""
+
+    def through_first(part: Tree, state2: StateName) -> Tree:
+        # Evaluate second from state2 over first's axiom tree ``part``.
+        label = part.label
+        if isinstance(label, Call):
+            # first's axiom call ⟨q1, x0⟩: compose states.
+            pending.add((state2, label.state))
+            return Tree(Call((state2, label.state), 0), ())
+        rhs2 = second.rhs(state2, label)
+        if rhs2 is None:
+            raise _Stuck(state2, label)
+        return instantiate(rhs2, part)
+
+    def instantiate(rhs2: Tree, part: Tree) -> Tree:
+        label = rhs2.label
+        if isinstance(label, Call):
+            return through_first(part.children[label.var - 1], label.state)
+        if rhs2.is_leaf:
+            return rhs2
+        return Tree(
+            label, tuple(instantiate(child, part) for child in rhs2.children)
+        )
+
+    def outer(part: Tree) -> Tree:
+        label = part.label
+        if isinstance(label, Call):
+            # second's axiom call ⟨q2, x0⟩ applied to first's whole output.
+            return through_first(first.axiom, label.state)
+        if part.is_leaf:
+            return part
+        return Tree(label, tuple(outer(child) for child in part.children))
+
+    return outer(second.axiom)

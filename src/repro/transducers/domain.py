@@ -1,0 +1,73 @@
+"""The implicit domain automaton of a DTOP.
+
+The domain of a DTOP is accepted by a DTTA (cf. Proposition 2(1) of
+Engelfriet–Maneth–Seidl, cited below Example 1 of the paper).  Its states
+are *sets* of transducer states: all states that simultaneously process an
+input node must have defined rules.  ``effective_domain`` intersects this
+implicit automaton with a supplied inspection DTTA, producing a trim,
+minimal automaton for ``dom([[M]]|L(A))`` — the domain ``D`` Section 7's
+compatibility conditions quantify over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.automata.dtta import DTTA
+from repro.automata.ops import minimize, product
+from repro.trees.alphabet import Symbol
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import StateName, calls_in
+
+DomainState = FrozenSet[StateName]
+
+
+def domain_dtta(transducer: DTOP) -> DTTA:
+    """The DTTA accepting exactly ``dom([[M]])``.
+
+    States are frozensets of transducer states; the empty set is the
+    universal ("anything accepted here") state, which arises below deleted
+    input variables.
+    """
+    alphabet = transducer.input_alphabet
+    initial: DomainState = frozenset(
+        c.state for _, c in calls_in(transducer.axiom)
+    )
+    transitions: Dict[Tuple[DomainState, Symbol], Tuple[DomainState, ...]] = {}
+    seen: Set[DomainState] = {initial}
+    frontier = [initial]
+    while frontier:
+        group = frontier.pop()
+        for symbol, rank in alphabet.items():
+            needed: Dict[int, Set[StateName]] = {i: set() for i in range(1, rank + 1)}
+            defined = True
+            for state in group:
+                rhs = transducer.rhs(state, symbol)
+                if rhs is None:
+                    defined = False
+                    break
+                for _, rule_call in calls_in(rhs):
+                    needed[rule_call.var].add(rule_call.state)
+            if not defined:
+                continue
+            children = tuple(
+                frozenset(needed[i]) for i in range(1, rank + 1)
+            )
+            transitions[(group, symbol)] = children
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+    return DTTA(alphabet, initial, transitions)
+
+
+def effective_domain(transducer: DTOP, inspection: Optional[DTTA] = None) -> DTTA:
+    """Minimal trim DTTA for ``dom([[M]]|L(A))``.
+
+    With ``inspection=None`` this is just the minimized implicit domain of
+    the transducer itself.
+    """
+    implicit = domain_dtta(transducer)
+    if inspection is None:
+        return minimize(implicit)
+    return minimize(product(implicit, inspection))

@@ -1,0 +1,314 @@
+"""The canonical minimal earliest compatible DTOP (Sections 6–7).
+
+Given a transducer ``M`` and an inspection automaton ``A``, we construct
+the unique minimal earliest DTOP compatible with ``D = dom([[M]]|L(A))``
+(Theorem 28(3)):
+
+1. canonicalize the domain (minimal DTTA, BFS-named);
+2. build the earliest transducer (states = ``⊥``-positions of ``out``,
+   :mod:`repro.transducers.earliest`);
+3. merge semantically equal states by partition refinement — in the
+   earliest normal form, state equivalence is exactly equality of rule
+   shapes up to state renaming, with the initial partition given by the
+   domain class (condition (C0) forbids merging states with different
+   restricted domains);
+4. rename states ``q0, q1, …`` in deterministic document order.
+
+Equality of canonical forms decides equivalence of DTOPs relative to a
+domain — the decidability substrate ([12], [13]) the paper's learning
+result rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.automata.dtta import DTTA, State as DState
+from repro.automata.ops import canonical_form
+from repro.trees.alphabet import Symbol
+from repro.trees.lcp import is_bottom
+from repro.trees.tree import Tree
+from repro.transducers.domain import effective_domain
+from repro.transducers.dtop import DTOP
+from repro.transducers.earliest import EState, out_table, reachable_pairs, to_earliest
+from repro.transducers.rhs import Call, StateName
+
+
+@dataclass
+class CanonicalDTOP:
+    """The canonical minimal earliest compatible transducer for a translation.
+
+    Attributes
+    ----------
+    dtop:
+        The canonical transducer; states are ``"q0", "q1", …`` in
+        deterministic document order starting from the axiom.
+    domain:
+        The canonical minimal DTTA for ``dom(τ)``; states are ints.
+    state_domain:
+        For each transducer state, the domain state it runs on (the
+        ``D``-restricted domain of its io-paths, condition (C0)).
+    """
+
+    dtop: DTOP
+    domain: DTTA
+    state_domain: Dict[StateName, DState] = field(default_factory=dict)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.dtop.states)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.dtop.rules)
+
+    def same_translation(self, other: "CanonicalDTOP") -> bool:
+        """Do the two canonical forms denote the same partial function?"""
+        return (
+            self.dtop.axiom == other.dtop.axiom
+            and self.dtop.rules == other.dtop.rules
+            and self.domain.initial == other.domain.initial
+            and self.domain.transitions == other.domain.transitions
+        )
+
+    def describe(self) -> str:
+        return self.dtop.describe() + "\ndomain:\n" + self.domain.describe()
+
+
+def _document_order_rename(dtop: DTOP, prefix: str = "q") -> Tuple[DTOP, Dict[StateName, StateName]]:
+    """Rename states in first-occurrence order: axiom first, then rules.
+
+    The traversal is deterministic: axiom calls left-to-right, then for
+    each already-ordered state its rules in sorted symbol order, calls
+    left-to-right (BFS).
+    """
+    order: Dict[StateName, StateName] = {}
+    queue: List[StateName] = []
+
+    def visit_tree(node: Tree) -> None:
+        if isinstance(node.label, Call):
+            state = node.label.state
+            if state not in order:
+                order[state] = f"{prefix}{len(order)}"
+                queue.append(state)
+            return
+        for child in node.children:
+            visit_tree(child)
+
+    visit_tree(dtop.axiom)
+    index = 0
+    while index < len(queue):
+        state = queue[index]
+        index += 1
+        for symbol in sorted(
+            {f for (q, f) in dtop.rules if q == state}, key=str
+        ):
+            visit_tree(dtop.rules[(state, symbol)])
+    # States unreachable from the axiom (none, normally) keep a stable name.
+    for state in sorted(dtop.states - set(order), key=str):
+        order[state] = f"{prefix}{len(order)}"
+    return dtop.rename(order), order
+
+
+def _skeleton(node: Tree, block: Dict[StateName, int]) -> Tree:
+    """Replace calls by (block, var) placeholders for signature comparison."""
+    label = node.label
+    if isinstance(label, Call):
+        return Tree(("call", block[label.state], label.var), ())
+    if node.is_leaf:
+        return node
+    return Tree(label, tuple(_skeleton(c, block) for c in node.children))
+
+
+def _merge_equivalent(
+    earliest: DTOP, info: Dict[StateName, EState]
+) -> Tuple[DTOP, Dict[StateName, StateName]]:
+    """Partition refinement on an earliest transducer.
+
+    Initial blocks are the domain classes (the minimal domain automaton's
+    states); refinement compares rule skeletons.  In the earliest normal
+    form this computes exact semantic equivalence of states.
+    """
+    states = sorted(earliest.states, key=str)
+    block: Dict[StateName, int] = {}
+    key_to_block: Dict[object, int] = {}
+    for state in states:
+        key = repr(info[state].d)
+        if key not in key_to_block:
+            key_to_block[key] = len(key_to_block)
+        block[state] = key_to_block[key]
+    while True:
+        key_to_block = {}
+        new_block: Dict[StateName, int] = {}
+        for state in states:
+            symbols = sorted(
+                {f for (q, f) in earliest.rules if q == state}, key=str
+            )
+            signature = tuple(
+                (symbol, _skeleton(earliest.rules[(state, symbol)], block))
+                for symbol in symbols
+            )
+            key = (block[state], signature)
+            if key not in key_to_block:
+                key_to_block[key] = len(key_to_block)
+            new_block[state] = key_to_block[key]
+        if new_block == block:
+            break
+        block = new_block
+    representative: Dict[int, StateName] = {}
+    for state in states:
+        representative.setdefault(block[state], state)
+    mapping = {state: representative[block[state]] for state in states}
+    merged_rules = {
+        (mapping[q], f): _rename_calls(rhs, mapping)
+        for (q, f), rhs in earliest.rules.items()
+        if representative[block[q]] == q
+    }
+    merged = DTOP(
+        earliest.input_alphabet,
+        earliest.output_alphabet,
+        _rename_calls(earliest.axiom, mapping),
+        merged_rules,
+    )
+    return merged, mapping
+
+
+def _rename_calls(node: Tree, mapping: Dict[StateName, StateName]) -> Tree:
+    label = node.label
+    if isinstance(label, Call):
+        return Tree(Call(mapping[label.state], label.var), ())
+    if node.is_leaf:
+        return node
+    return Tree(label, tuple(_rename_calls(c, mapping) for c in node.children))
+
+
+def canonicalize(
+    transducer: DTOP, inspection: Optional[DTTA] = None
+) -> CanonicalDTOP:
+    """The unique minimal earliest compatible DTOP for ``[[M]]|L(A)``.
+
+    This realizes direction 2 ⇒ 3 of Theorem 28.  The result is fully
+    deterministic: equal translations yield structurally equal results.
+    """
+    domain = canonical_form(effective_domain(transducer, inspection))
+    earliest, _, info = to_earliest(transducer, domain, domain_is_effective=True)
+    merged, merge_map = _merge_equivalent(earliest, info)
+    canonical, rename_map = _document_order_rename(merged)
+    state_domain: Dict[StateName, DState] = {}
+    for old_state, estate in info.items():
+        merged_state = merge_map[old_state]
+        if merged_state in rename_map:
+            state_domain[rename_map[merged_state]] = estate.d
+    return CanonicalDTOP(canonical, domain, state_domain)
+
+
+def equivalent_on(
+    left: DTOP, right: DTOP, inspection: Optional[DTTA] = None
+) -> bool:
+    """Decide ``[[M1]]|L(A) = [[M2]]|L(A)`` (as partial functions).
+
+    With ``inspection=None``, decides equality of the full translations
+    (including equality of the implicit domains).
+    """
+    return canonicalize(left, inspection).same_translation(
+        canonicalize(right, inspection)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compatibility conditions (C0)–(C2) of Definition 27
+# ---------------------------------------------------------------------------
+
+
+def check_c0(transducer: DTOP, inspection: Optional[DTTA] = None) -> bool:
+    """(C0): io-paths with different restricted domains reach different states.
+
+    An io-path of ``τ`` *reaches* a state only when the state call sits
+    exactly at a ``⊥`` of ``out_τ`` (Definition 3); pairs ``(q, d)``
+    where the transducer still owes output (``out(q, d) ≠ ⊥``) are not
+    reached by any io-path — this is why Example 6's ``M2`` satisfies
+    (C0) despite its single state meeting two domain states in the raw
+    parallel run.
+    """
+    domain = canonical_form(effective_domain(transducer, inspection))
+    table = out_table(transducer, domain)
+    paired: Dict[StateName, Set[DState]] = {}
+    for q, d in reachable_pairs(transducer, domain):
+        if is_bottom(table[(q, d)]):
+            paired.setdefault(q, set()).add(d)
+    return all(len(ds) == 1 for ds in paired.values())
+
+
+def check_c1(transducer: DTOP, inspection: Optional[DTTA] = None) -> bool:
+    """(C1): output production is maximal relative to the domain.
+
+    For every reachable triple ``(q, d_own, d)`` — ``d_own`` from the
+    transducer's own implicit domain, ``d`` from the restricted one —
+    the common output prefixes must coincide: restricting the domain must
+    not reveal output the transducer withheld.
+    """
+    own = canonical_form(effective_domain(transducer, None))
+    restricted = canonical_form(effective_domain(transducer, inspection))
+    table_own = out_table(transducer, own)
+    table_restricted = out_table(transducer, restricted)
+    # Walk the synchronized product of both domains.
+    start = [
+        (c.label.state, own.initial, restricted.initial)
+        for _, c in transducer.axiom.subtrees()
+        if isinstance(c.label, Call)
+    ]
+    seen = set(start)
+    frontier = list(start)
+    while frontier:
+        q, d_own, d = frontier.pop()
+        if table_own[(q, d_own)] != table_restricted[(q, d)]:
+            return False
+        for symbol in restricted.allowed_symbols(d):
+            if symbol not in own.allowed_symbols(d_own):
+                continue
+            own_children = own.transitions[(d_own, symbol)]
+            res_children = restricted.transitions[(d, symbol)]
+            rhs = transducer.rules[(q, symbol)]
+            for _, node in rhs.subtrees():
+                if isinstance(node.label, Call):
+                    triple = (
+                        node.label.state,
+                        own_children[node.label.var - 1],
+                        res_children[node.label.var - 1],
+                    )
+                    if triple not in seen:
+                        seen.add(triple)
+                        frontier.append(triple)
+    return True
+
+
+def check_c2(transducer: DTOP, inspection: Optional[DTTA] = None) -> bool:
+    """(C2): no superfluous rules.
+
+    Every rule ``(q, f)`` must be usable: ``q`` reachable in the parallel
+    run with the effective domain, paired with some ``d`` that allows
+    ``f``.
+    """
+    domain = canonical_form(effective_domain(transducer, inspection))
+    pairs = reachable_pairs(transducer, domain)
+    allowed: Dict[StateName, Set[Symbol]] = {}
+    for q, d in pairs:
+        allowed.setdefault(q, set()).update(domain.allowed_symbols(d))
+    for (q, symbol) in transducer.rules:
+        if symbol not in allowed.get(q, set()):
+            return False
+    return True
+
+
+def is_compatible(transducer: DTOP, inspection: Optional[DTTA] = None) -> bool:
+    """All of Definition 27: earliest + (C0) + (C1) + (C2)."""
+    domain = canonical_form(effective_domain(transducer, inspection))
+    table = out_table(transducer, domain)
+    earliest = all(is_bottom(prefix) for prefix in table.values())
+    return (
+        earliest
+        and check_c0(transducer, inspection)
+        and check_c1(transducer, inspection)
+        and check_c2(transducer, inspection)
+    )

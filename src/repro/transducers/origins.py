@@ -1,0 +1,65 @@
+"""Origin-tracking evaluation of a DTOP.
+
+For value rehydration (and provenance generally) we need to know, for
+every node of the output tree, which input node the emitting rule was
+reading.  ``apply_with_origins`` evaluates the transducer while
+threading Dewey addresses on both sides; it costs O(|output|) — no
+memoization is possible because each output position is distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UndefinedTransductionError
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import Call, StateName
+
+Address = Tuple[int, ...]
+
+
+def apply_with_origins(
+    transducer: DTOP, source: Tree
+) -> Tuple[Tree, Dict[Address, Address]]:
+    """``[[M]](s)`` plus a map «output address → originating input address».
+
+    The origin of an output node is the input node whose rule emitted it
+    (for axiom-emitted output, the root).  Raises
+    :class:`UndefinedTransductionError` outside the domain.
+    """
+    origins: Dict[Address, Address] = {}
+
+    def eval_state(state: StateName, node: Tree, in_addr: Address, out_addr: Address) -> Tree:
+        rhs = transducer.rhs(state, node.label)
+        if rhs is None:
+            raise UndefinedTransductionError(
+                f"no rule for state {state!r} on symbol {node.label!r}"
+            )
+        return instantiate(rhs, node, in_addr, out_addr)
+
+    def instantiate(part: Tree, node: Tree, in_addr: Address, out_addr: Address) -> Tree:
+        label = part.label
+        if isinstance(label, Call):
+            child = node.children[label.var - 1]
+            return eval_state(label.state, child, in_addr + (label.var,), out_addr)
+        origins[out_addr] = in_addr
+        children = tuple(
+            instantiate(child, node, in_addr, out_addr + (i,))
+            for i, child in enumerate(part.children, start=1)
+        )
+        return Tree(label, children)
+
+    def instantiate_axiom(part: Tree, out_addr: Address) -> Tree:
+        label = part.label
+        if isinstance(label, Call):
+            return eval_state(label.state, source, (), out_addr)
+        origins[out_addr] = ()
+        children = tuple(
+            instantiate_axiom(child, out_addr + (i,))
+            for i, child in enumerate(part.children, start=1)
+        )
+        return Tree(label, children)
+
+    result = instantiate_axiom(transducer.axiom, ())
+    return result, origins

@@ -1,0 +1,110 @@
+"""Right-hand-side trees: output trees with embedded state calls.
+
+A rule right-hand side (and the axiom) is a tree over
+``T_G(Q × X)`` — output symbols with leaves of the form ``⟨q, x_i⟩``.
+We embed the pair as a :class:`Call` label on a leaf of the ordinary
+:class:`~repro.trees.tree.Tree` type, so all tree machinery (paths,
+substitution, lcp) applies unchanged to right-hand sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Tuple, Union
+
+from repro.errors import TransducerError
+from repro.trees.tree import Label, Tree
+
+StateName = Hashable
+
+
+@dataclass(frozen=True, order=False)
+class Call:
+    """A state call ``⟨state, x_var⟩`` occurring at a leaf of an rhs tree.
+
+    ``var`` is the input-variable index: 0 only in axioms (``x0`` = the
+    whole input), 1-based in rules (``x_i`` = the i-th subtree).
+    """
+
+    state: StateName
+    var: int
+
+    def __str__(self) -> str:
+        return f"⟨{self.state}, x{self.var}⟩"
+
+    def __repr__(self) -> str:
+        return f"Call({self.state!r}, x{self.var})"
+
+
+def call(state: StateName, var: int) -> Tree:
+    """A one-node rhs tree consisting of a single state call."""
+    return Tree(Call(state, var), ())
+
+
+def is_call(node: Tree) -> bool:
+    """True iff the node is a state-call leaf."""
+    return isinstance(node.label, Call)
+
+
+def is_pure(node: Tree) -> bool:
+    """True iff the tree contains no state calls (it is ground output)."""
+    if is_call(node):
+        return False
+    return all(is_pure(child) for child in node.children)
+
+
+def calls_in(node: Tree) -> Iterator[Tuple[Tuple[int, ...], Call]]:
+    """All ``(address, call)`` pairs in an rhs tree, left-to-right."""
+    stack: List[Tuple[Tuple[int, ...], Tree]] = [((), node)]
+    found: List[Tuple[Tuple[int, ...], Call]] = []
+    while stack:
+        address, current = stack.pop()
+        if isinstance(current.label, Call):
+            found.append((address, current.label))
+            continue
+        for i in range(current.arity, 0, -1):
+            stack.append((address + (i,), current.children[i - 1]))
+    return iter(sorted(found))
+
+
+def rhs_tree(spec: Union[Tree, str, Tuple], ) -> Tree:
+    """Build an rhs tree from a lightweight nested-tuple spec.
+
+    * a :class:`Tree` is returned unchanged;
+    * a string is a 0-ary output symbol;
+    * ``("f", child, …)`` is an output symbol with children;
+    * ``(state, var)`` where ``var`` is an ``int`` is a state call —
+      written e.g. ``("q1", 2)`` for ``⟨q1, x2⟩``.
+
+    Disambiguation: a 2-tuple whose second element is an ``int`` is a
+    call; anything else is a symbol application.
+
+    >>> str(rhs_tree(("b", "#", ("q3", 2))))
+    'b(#, ⟨q3, x2⟩)'
+    """
+    if isinstance(spec, Tree):
+        return spec
+    if isinstance(spec, str):
+        return Tree(spec, ())
+    if isinstance(spec, tuple):
+        if len(spec) == 2 and isinstance(spec[1], int) and not isinstance(spec[0], tuple):
+            state, var = spec
+            if not isinstance(state, str):
+                raise TransducerError(f"call state must be a string, got {state!r}")
+            return call(state, var)
+        head, *rest = spec
+        if not isinstance(head, str):
+            raise TransducerError(f"rhs symbol must be a string, got {head!r}")
+        return Tree(head, tuple(rhs_tree(child) for child in rest))
+    raise TransducerError(f"cannot interpret rhs spec {spec!r}")
+
+
+def substitute_calls(node: Tree, mapping) -> Tree:
+    """Replace each call leaf ``c`` by ``mapping(c)`` (a Tree)."""
+    if isinstance(node.label, Call):
+        return mapping(node.label)
+    if node.is_leaf:
+        return node
+    return Tree(
+        node.label, tuple(substitute_calls(child, mapping) for child in node.children)
+    )

@@ -1,0 +1,124 @@
+"""Stopped computations and reachability (Definition 3 of the paper).
+
+``M_x`` extends ``M`` with a fresh input constant ``x`` translated to the
+pair ``⟨q, x⟩`` in every state.  Running ``M_x`` on ``s[u ← x]`` "stops"
+the translation at the input node ``u``; the positions of the ``⟨q, x⟩``
+leaves in the result are exactly the output paths paired with ``u`` by
+io-paths.  We implement the stopped run directly, without materializing
+``M_x``: the computation proceeds along the path ``u`` only, which is all
+that Definition 3 needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import UndefinedTransductionError
+from repro.trees.lcp import BOTTOM
+from repro.trees.paths import Path, node_to_path
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import Call, StateName, calls_in
+
+#: Marker label for a stopped state call ``⟨q, x⟩`` in a stopped run.
+class Stopped:
+    """Label ``⟨q, x⟩``: state ``q`` stopped at the distinguished input."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: StateName):
+        self.state = state
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stopped) and other.state == self.state
+
+    def __hash__(self) -> int:
+        return hash(("Stopped", self.state))
+
+    def __repr__(self) -> str:
+        return f"⟨{self.state}, x⟩"
+
+
+def run_stopped(transducer: DTOP, input_tree: Tree, u: Path) -> Tree:
+    """``[[M_x]](s[u ← x])`` with off-path subtrees translated normally.
+
+    ``u`` must belong to ``input_tree``.  The result is a tree over the
+    output alphabet whose extra leaves are labeled :class:`Stopped`.
+    Raises :class:`UndefinedTransductionError` when some off-path
+    translation is undefined.
+    """
+
+    def eval_along(state: StateName, node: Tree, remaining: Path) -> Tree:
+        if not remaining:
+            return Tree(Stopped(state), ())
+        (label, index), rest = remaining[0], remaining[1:]
+        if node.label != label:
+            raise UndefinedTransductionError(
+                f"path expects {label!r}, tree has {node.label!r}"
+            )
+        rhs = transducer.rhs(state, label)
+        if rhs is None:
+            raise UndefinedTransductionError(
+                f"no rule for ({state!r}, {label!r})"
+            )
+        return instantiate(rhs, node, index, rest)
+
+    def instantiate(rhs: Tree, node: Tree, index: int, rest: Path) -> Tree:
+        head = rhs.label
+        if isinstance(head, Call):
+            child = node.children[head.var - 1]
+            if head.var == index:
+                return eval_along(head.state, child, rest)
+            return transducer.apply_state(head.state, child)
+        return Tree(
+            head,
+            tuple(instantiate(c, node, index, rest) for c in rhs.children),
+        )
+
+    def start(part: Tree) -> Tree:
+        head = part.label
+        if isinstance(head, Call):
+            return eval_along(head.state, input_tree, u)
+        return Tree(head, tuple(start(c) for c in part.children))
+
+    return start(transducer.axiom)
+
+
+def stopped_positions(result: Tree) -> Iterator[Tuple[Tuple[int, ...], StateName]]:
+    """All ``(address, state)`` of :class:`Stopped` leaves of a stopped run."""
+    for address, node in result.subtrees():
+        if isinstance(node.label, Stopped):
+            yield address, node.label.state
+
+
+def state_sequence(transducer: DTOP, input_tree: Tree, u: Path) -> Tuple[StateName, ...]:
+    """The classical "state sequence" of ``s`` at ``u``.
+
+    The sequence (with repetitions, in left-to-right output order) of
+    states in which ``M`` processes the input node addressed by ``u``.
+    """
+    result = run_stopped(transducer, input_tree, u)
+    return tuple(state for _, state in sorted(stopped_positions(result)))
+
+
+def reaches(
+    transducer: DTOP, input_tree: Tree, u: Path, v: Path
+) -> Optional[StateName]:
+    """Definition 3: the state ``q`` such that ``(u, v)`` reaches ``q``.
+
+    Returns the state at output path ``v`` of the stopped run on
+    ``input_tree`` (which must contain ``u``), or ``None`` if ``v`` does
+    not address a stopped leaf.
+    """
+    try:
+        result = run_stopped(transducer, input_tree, u)
+    except UndefinedTransductionError:
+        return None
+    current = result
+    for label, index in v:
+        if current.label != label or not 1 <= index <= current.arity:
+            return None
+        current = current.children[index - 1]
+    if isinstance(current.label, Stopped):
+        return current.label.state
+    return None

@@ -1,0 +1,70 @@
+"""Ranked trees, paths, prefixes, and DAG compression.
+
+This package is the foundational substrate of the reproduction: ordered
+ranked trees exactly as in Section 2 of the paper, the labeled-path
+machinery (``F``-paths and npaths), the largest-common-prefix operator
+``⊔`` with the special symbol ``⊥``, and the minimal-DAG representation the
+paper recommends for exponential outputs.
+"""
+
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree, tree, leaf, parse_term, format_term
+from repro.trees.paths import (
+    Step,
+    path_to_nodes,
+    node_to_path,
+    belongs,
+    npath_belongs,
+    subtree_at_path,
+    subtree_at_node,
+    paths_of,
+    npaths_of,
+    path_order_key,
+    pair_order_key,
+    parent_npath,
+)
+from repro.trees.lcp import BOTTOM, is_bottom, lcp, lcp_many, bottom_positions, is_prefix_of
+from repro.trees.substitution import (
+    substitute_leaves,
+    replace_at_node,
+    replace_at_path,
+)
+from repro.trees.dag import Dag, DagNode, dag_of_tree, dag_size, tree_size
+from repro.trees.generate import all_trees_up_to, random_tree
+
+__all__ = [
+    "RankedAlphabet",
+    "Tree",
+    "tree",
+    "leaf",
+    "parse_term",
+    "format_term",
+    "Step",
+    "path_to_nodes",
+    "node_to_path",
+    "belongs",
+    "npath_belongs",
+    "subtree_at_path",
+    "subtree_at_node",
+    "paths_of",
+    "npaths_of",
+    "path_order_key",
+    "pair_order_key",
+    "parent_npath",
+    "BOTTOM",
+    "is_bottom",
+    "lcp",
+    "lcp_many",
+    "bottom_positions",
+    "is_prefix_of",
+    "substitute_leaves",
+    "replace_at_node",
+    "replace_at_path",
+    "Dag",
+    "DagNode",
+    "dag_of_tree",
+    "dag_size",
+    "tree_size",
+    "all_trees_up_to",
+    "random_tree",
+]

@@ -1,0 +1,116 @@
+"""Ranked alphabets (Section 2 of the paper).
+
+A ranked alphabet is a finite set of symbols together with a total rank
+function.  We keep the class deliberately small: it is a validated,
+immutable mapping from symbol to rank with a few convenience queries used
+throughout the library (symbols of a given rank, maximal rank, merging).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import AlphabetError
+
+Symbol = str
+
+
+class RankedAlphabet:
+    """An immutable finite mapping from symbols to non-negative ranks.
+
+    >>> f = RankedAlphabet({"f": 2, "a": 0, "b": 0})
+    >>> f.rank("f")
+    2
+    >>> sorted(f.symbols_of_rank(0))
+    ['a', 'b']
+    """
+
+    __slots__ = ("_ranks",)
+
+    def __init__(self, ranks: Mapping[Symbol, int]):
+        checked: Dict[Symbol, int] = {}
+        for symbol, rank in ranks.items():
+            if not isinstance(rank, int) or rank < 0:
+                raise AlphabetError(
+                    f"rank of {symbol!r} must be a non-negative integer, got {rank!r}"
+                )
+            checked[symbol] = rank
+        self._ranks: Dict[Symbol, int] = checked
+
+    @classmethod
+    def from_trees(cls, trees: Iterable["object"]) -> "RankedAlphabet":
+        """Collect the alphabet used by the given trees.
+
+        Raises :class:`AlphabetError` if a symbol occurs with two different
+        arities (the trees would then not be ranked).
+        """
+        ranks: Dict[Symbol, int] = {}
+        stack = list(trees)
+        while stack:
+            node = stack.pop()
+            label = node.label  # type: ignore[attr-defined]
+            arity = len(node.children)  # type: ignore[attr-defined]
+            if label in ranks and ranks[label] != arity:
+                raise AlphabetError(
+                    f"symbol {label!r} used with ranks {ranks[label]} and {arity}"
+                )
+            ranks[label] = arity
+            stack.extend(node.children)  # type: ignore[attr-defined]
+        return cls(ranks)
+
+    def rank(self, symbol: Symbol) -> int:
+        """Return the rank of ``symbol``; raise if unknown."""
+        try:
+            return self._ranks[symbol]
+        except KeyError:
+            raise AlphabetError(f"unknown symbol {symbol!r}") from None
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._ranks
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._ranks)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def items(self) -> Iterable[Tuple[Symbol, int]]:
+        return self._ranks.items()
+
+    def symbols_of_rank(self, rank: int) -> Tuple[Symbol, ...]:
+        """All symbols of the given rank (the paper's ``F^(k)``)."""
+        return tuple(s for s, r in self._ranks.items() if r == rank)
+
+    @property
+    def max_rank(self) -> int:
+        """The largest rank of any symbol (0 for the empty alphabet)."""
+        return max(self._ranks.values(), default=0)
+
+    @property
+    def constants(self) -> Tuple[Symbol, ...]:
+        """The rank-0 symbols (``F^(0)``)."""
+        return self.symbols_of_rank(0)
+
+    def merge(self, other: "RankedAlphabet") -> "RankedAlphabet":
+        """Union of two alphabets; ranks must agree on shared symbols."""
+        merged = dict(self._ranks)
+        for symbol, rank in other.items():
+            if symbol in merged and merged[symbol] != rank:
+                raise AlphabetError(
+                    f"symbol {symbol!r} has rank {merged[symbol]} here "
+                    f"but rank {rank} in the other alphabet"
+                )
+            merged[symbol] = rank
+        return RankedAlphabet(merged)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RankedAlphabet):
+            return NotImplemented
+        return self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._ranks.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s}/{r}" for s, r in sorted(self._ranks.items()))
+        return f"RankedAlphabet({{{inner}}})"

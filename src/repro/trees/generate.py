@@ -1,0 +1,88 @@
+"""Tree generation: exhaustive enumeration and random sampling.
+
+Used by tests (hypothesis strategies wrap these), by benchmarks (workload
+inputs), and by the characteristic-sample machinery when it needs small
+members of a tree language.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import AlphabetError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree
+
+
+def all_trees_up_to(alphabet: RankedAlphabet, max_height: int) -> Iterator[Tree]:
+    """Enumerate every tree over ``alphabet`` of height ≤ ``max_height``.
+
+    Heights count nodes on the longest branch (a constant has height 1).
+    Enumeration is by increasing height, deterministic order within a
+    height level.  Beware: the count grows doubly exponentially.
+    """
+    by_height: List[List[Tree]] = [[]]  # by_height[h] = trees of height <= h
+    for height in range(1, max_height + 1):
+        previous = by_height[height - 1]
+        level: List[Tree] = []
+        for symbol, rank in sorted(alphabet.items()):
+            if rank == 0:
+                if height == 1:
+                    level.append(Tree(symbol, ()))
+                continue
+            if height == 1:
+                continue
+            for combo in itertools.product(previous, repeat=rank):
+                candidate = Tree(symbol, combo)
+                if candidate.height == height:
+                    level.append(candidate)
+        for item in level:
+            yield item
+        by_height.append(previous + level)
+
+
+def random_tree(
+    alphabet: RankedAlphabet,
+    max_height: int,
+    rng: Optional[random.Random] = None,
+    grow_probability: float = 0.8,
+) -> Tree:
+    """Sample a random tree over ``alphabet`` of height ≤ ``max_height``.
+
+    Internal symbols are chosen while the height budget allows and a coin
+    with ``grow_probability`` comes up heads; otherwise a constant is
+    chosen.  The alphabet must contain at least one constant.
+    """
+    rng = rng or random.Random()
+    constants = alphabet.constants
+    if not constants:
+        raise AlphabetError("cannot generate finite trees without constants")
+    internals = [s for s, r in alphabet.items() if r > 0]
+
+    def build(budget: int) -> Tree:
+        grow = budget > 1 and internals and rng.random() < grow_probability
+        if grow:
+            symbol = rng.choice(internals)
+            rank = alphabet.rank(symbol)
+            return Tree(symbol, tuple(build(budget - 1) for _ in range(rank)))
+        return Tree(rng.choice(constants), ())
+
+    return build(max_height)
+
+
+def monadic_tree(symbols: Sequence[str], end: str = "e") -> Tree:
+    """Build the monadic tree ``s1(s2(…(end)…))`` from a word of symbols."""
+    node = Tree(end, ())
+    for symbol in reversed(symbols):
+        node = Tree(symbol, (node,))
+    return node
+
+
+def full_binary_tree(symbol: str, leaf_symbol: str, height: int) -> Tree:
+    """The full binary tree of the given height (height 1 = a single leaf)."""
+    node = Tree(leaf_symbol, ())
+    for _ in range(height - 1):
+        node = Tree(symbol, (node, node))
+    return node

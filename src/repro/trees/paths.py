@@ -1,0 +1,160 @@
+"""Labeled paths (``F``-paths), node-paths, and the path order.
+
+The paper (Section 2) works with *edge paths*: words over
+``F# = {(f, i) | f ∈ F^(k), 1 ≤ i ≤ k}``.  A path ``u`` *belongs to* a tree
+``s`` (written ``u =| s``) if following the labeled child steps from the
+root stays inside ``s`` with matching labels.  An *npath* ``U = u·f``
+additionally fixes the label of the node it addresses.
+
+We represent a path as a tuple of :class:`Step` (symbol, 1-based child
+index) and an npath as ``(path, symbol)``.
+
+Section 8 fixes a total order on paths — shorter first, then lexicographic
+— and lifts it to pairs of paths.  :func:`path_order_key` and
+:func:`pair_order_key` implement exactly that order as Python sort keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import PathError
+from repro.trees.tree import Label, Tree
+
+# A single labeled step (f, i): "from a node labeled f, go to child i".
+Step = Tuple[Label, int]
+# An F-path: a word over labeled steps.
+Path = Tuple[Step, ...]
+# An npath u·f: a path plus the label of the addressed node.
+NPath = Tuple[Path, Label]
+
+EPSILON: Path = ()
+
+
+def node_to_path(root: Tree, node: Tuple[int, ...]) -> Path:
+    """Convert a Dewey node address into the labeled path reaching it."""
+    steps: List[Step] = []
+    current = root
+    for index in node:
+        steps.append((current.label, index))
+        current = current.child(index)
+    return tuple(steps)
+
+
+def path_to_nodes(path: Path) -> Tuple[int, ...]:
+    """Project a labeled path onto its Dewey node address."""
+    return tuple(index for _, index in path)
+
+
+def belongs(path: Path, root: Tree) -> bool:
+    """The paper's ``u =| s``: does the labeled path belong to the tree?"""
+    current = root
+    for label, index in path:
+        if current.label != label or not 1 <= index <= current.arity:
+            return False
+        current = current.children[index - 1]
+    return True
+
+
+def npath_belongs(npath: NPath, root: Tree) -> bool:
+    """The paper's ``U =| s`` for node-paths: path belongs and label matches."""
+    path, label = npath
+    current = root
+    for step_label, index in path:
+        if current.label != step_label or not 1 <= index <= current.arity:
+            return False
+        current = current.children[index - 1]
+    return current.label == label
+
+
+def subtree_at_path(root: Tree, path: Path) -> Tree:
+    """The subtree ``u⁻¹(s)`` at the end of a labeled path.
+
+    Raises :class:`PathError` if the path does not belong to the tree.
+    """
+    current = root
+    for label, index in path:
+        if current.label != label:
+            raise PathError(
+                f"path expects label {label!r} but tree has {current.label!r}"
+            )
+        if not 1 <= index <= current.arity:
+            raise PathError(
+                f"node labeled {current.label!r} has no child #{index}"
+            )
+        current = current.children[index - 1]
+    return current
+
+
+def subtree_at_node(root: Tree, node: Tuple[int, ...]) -> Tree:
+    """The subtree ``π⁻¹(s)`` at a Dewey address."""
+    current = root
+    for index in node:
+        if not 1 <= index <= current.arity:
+            raise PathError(f"no node {node} in tree {root}")
+        current = current.children[index - 1]
+    return current
+
+
+def try_subtree_at_path(root: Tree, path: Path) -> Optional[Tree]:
+    """Like :func:`subtree_at_path` but returns ``None`` when ``u`` ∌ ``s``."""
+    current = root
+    for label, index in path:
+        if current.label != label or not 1 <= index <= current.arity:
+            return None
+        current = current.children[index - 1]
+    return current
+
+
+def paths_of(root: Tree) -> Iterator[Path]:
+    """All labeled paths belonging to the tree (``paths(s)``), pre-order."""
+    stack: List[Tuple[Path, Tree]] = [((), root)]
+    while stack:
+        path, node = stack.pop()
+        yield path
+        for i in range(node.arity, 0, -1):
+            stack.append((path + ((node.label, i),), node.children[i - 1]))
+
+
+def npaths_of(root: Tree) -> Iterator[NPath]:
+    """All node-paths belonging to the tree (``npaths(s)``), pre-order."""
+    stack: List[Tuple[Path, Tree]] = [((), root)]
+    while stack:
+        path, node = stack.pop()
+        yield (path, node.label)
+        for i in range(node.arity, 0, -1):
+            stack.append((path + ((node.label, i),), node.children[i - 1]))
+
+
+def parent_npath(npath: NPath) -> NPath:
+    """The paper's ``parent``: ``parent(u·(f,i)·f') = u·f``; root is fixed.
+
+    ``parent(ε·f) = ε·f`` would be ill-founded; the paper defines
+    ``parent(ε·f) = ε`` — we signal that case by raising, and callers treat
+    the root separately (its npath has no parent).
+    """
+    path, _ = npath
+    if not path:
+        raise PathError("the root npath has no parent")
+    return (path[:-1], path[-1][0])
+
+
+def _step_key(step: Step) -> Tuple[str, int]:
+    label, index = step
+    return (str(label), index)
+
+
+def path_order_key(path: Path) -> Tuple[int, Tuple[Tuple[str, int], ...]]:
+    """Sort key for the paper's order ``<`` on paths (Section 8).
+
+    Shorter paths come first; equal lengths compare lexicographically by
+    (symbol, child index).  Deleting letters always makes a path smaller,
+    as Section 8 requires.
+    """
+    return (len(path), tuple(_step_key(s) for s in path))
+
+
+def pair_order_key(pair: Tuple[Path, Path]):
+    """Sort key for pairs ``(u, v)``: ``u`` first, then ``v`` (Section 8)."""
+    u, v = pair
+    return (path_order_key(u), path_order_key(v))

@@ -1,0 +1,67 @@
+"""Substitutions on trees.
+
+Section 2 uses the leaf substitution ``[f1 ← s1, …, fn ← sn]`` replacing
+every leaf labeled ``fi`` by the tree ``si``; we also need surgical
+replacement of the subtree at a given node or labeled path (used when
+characteristic-sample generation grafts witness trees into a base tree).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Tuple
+
+from repro.errors import PathError
+from repro.trees.paths import Path, path_to_nodes
+from repro.trees.tree import Label, Tree
+
+
+def substitute_leaves(node: Tree, mapping: Mapping[Label, Tree]) -> Tree:
+    """The paper's ``[f1 ← s1, …]``: replace every leaf whose label is a key.
+
+    Inner nodes are never replaced even if their label is in the mapping —
+    the substitution of Section 2 is defined on rank-0 symbols only.
+    """
+    if node.is_leaf:
+        return mapping.get(node.label, node)
+    changed = False
+    children = []
+    for child in node.children:
+        new_child = substitute_leaves(child, mapping)
+        changed = changed or new_child is not child
+        children.append(new_child)
+    if not changed:
+        return node
+    return Tree(node.label, tuple(children))
+
+
+def substitute_leaves_fn(node: Tree, fn: Callable[[Tree], Tree]) -> Tree:
+    """Replace every leaf ``l`` by ``fn(l)`` (identity to keep it)."""
+    if node.is_leaf:
+        return fn(node)
+    children = tuple(substitute_leaves_fn(child, fn) for child in node.children)
+    return Tree(node.label, children)
+
+
+def replace_at_node(root: Tree, node: Tuple[int, ...], replacement: Tree) -> Tree:
+    """Return ``root`` with the subtree at Dewey address ``node`` replaced."""
+    if not node:
+        return replacement
+    index = node[0]
+    if not 1 <= index <= root.arity:
+        raise PathError(f"no child #{index} under a node labeled {root.label!r}")
+    children = list(root.children)
+    children[index - 1] = replace_at_node(children[index - 1], node[1:], replacement)
+    return Tree(root.label, tuple(children))
+
+
+def replace_at_path(root: Tree, path: Path, replacement: Tree) -> Tree:
+    """Replace the subtree ``u⁻¹(root)`` addressed by a labeled path.
+
+    Verifies that the path belongs to the tree before replacing.
+    """
+    current = root
+    for label, index in path:
+        if current.label != label or not 1 <= index <= current.arity:
+            raise PathError(f"path does not belong to tree {root}")
+        current = current.children[index - 1]
+    return replace_at_node(root, path_to_nodes(path), replacement)

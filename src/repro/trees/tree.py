@@ -1,0 +1,244 @@
+"""Immutable ordered ranked trees and a term syntax for them.
+
+Trees are the ground terms of Section 2: a label together with an ordered
+tuple of child trees.  Labels are arbitrary hashable objects — plain
+strings for input/output symbols, but also the ``⊥`` sentinel of
+:mod:`repro.trees.lcp` and the state calls ``⟨q, x_i⟩`` used in transducer
+right-hand sides (:mod:`repro.transducers.rhs`).
+
+The term syntax is the paper's: ``f(a, g(b, c))``; a one-node tree ``f()``
+may be written ``f``.  Labels may be quoted with double quotes so that the
+DTD-encoding labels such as ``"(a*,b*)"`` round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ParseError, TreeError
+
+Label = Hashable
+
+
+class Tree:
+    """An immutable ordered tree with a hashable label.
+
+    Structural equality and hashing are precomputed bottom-up, so trees can
+    be used freely as dictionary keys (the learning algorithm does this
+    heavily for residuals and memoized evaluation).
+    """
+
+    __slots__ = ("label", "children", "_hash", "_size", "_height")
+
+    label: Label
+    children: Tuple["Tree", ...]
+
+    def __init__(self, label: Label, children: Sequence["Tree"] = ()):
+        children = tuple(children)
+        for child in children:
+            if not isinstance(child, Tree):
+                raise TreeError(f"child {child!r} is not a Tree")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "_hash", hash((label, children)))
+        object.__setattr__(
+            self, "_size", 1 + sum(c._size for c in children)
+        )
+        object.__setattr__(
+            self,
+            "_height",
+            1 + max((c._height for c in children), default=0),
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise TreeError("Tree instances are immutable")
+
+    @property
+    def arity(self) -> int:
+        """Number of children (the rank this tree uses its root label at)."""
+        return len(self.children)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of nodes on a longest root-to-leaf branch (leaf = 1)."""
+        return self._height
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Tree):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.label == other.label and self.children == other.children
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Tree({format_term(self)!r})"
+
+    def __str__(self) -> str:
+        return format_term(self)
+
+    def child(self, index: int) -> "Tree":
+        """1-based child access, matching the paper's node numbering."""
+        if not 1 <= index <= len(self.children):
+            raise TreeError(
+                f"node labeled {self.label!r} has {len(self.children)} "
+                f"children, no child #{index}"
+            )
+        return self.children[index - 1]
+
+    def nodes(self) -> Iterator[Tuple[int, ...]]:
+        """All node addresses in pre-order (Dewey, 1-based; root = ``()``)."""
+        stack: List[Tuple[Tuple[int, ...], Tree]] = [((), self)]
+        while stack:
+            address, node = stack.pop()
+            yield address
+            for i in range(len(node.children), 0, -1):
+                stack.append((address + (i,), node.children[i - 1]))
+
+    def subtrees(self) -> Iterator[Tuple[Tuple[int, ...], "Tree"]]:
+        """All ``(address, subtree)`` pairs in pre-order."""
+        stack: List[Tuple[Tuple[int, ...], Tree]] = [((), self)]
+        while stack:
+            address, node = stack.pop()
+            yield address, node
+            for i in range(len(node.children), 0, -1):
+                stack.append((address + (i,), node.children[i - 1]))
+
+    def leaves(self) -> Iterator[Tuple[Tuple[int, ...], "Tree"]]:
+        """All ``(address, leaf)`` pairs in left-to-right order."""
+        for address, node in self.subtrees():
+            if node.is_leaf:
+                yield address, node
+
+    def labels(self) -> Iterator[Label]:
+        """All labels, in pre-order."""
+        for _, node in self.subtrees():
+            yield node.label
+
+    def map_labels(self, fn: Callable[[Label], Label]) -> "Tree":
+        """Return a copy with every label replaced by ``fn(label)``."""
+        return Tree(fn(self.label), tuple(c.map_labels(fn) for c in self.children))
+
+
+def tree(label: Label, *children: Tree) -> Tree:
+    """Convenience constructor: ``tree("f", leaf("a"), leaf("b"))``."""
+    return Tree(label, children)
+
+
+def leaf(label: Label) -> Tree:
+    """A one-node tree."""
+    return Tree(label, ())
+
+
+# ---------------------------------------------------------------------------
+# Term syntax
+# ---------------------------------------------------------------------------
+
+_IDENT_EXTRA = set("#_-*+?|.!'⊣")
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _IDENT_EXTRA
+
+
+def format_term(node: Tree) -> str:
+    """Render a tree in the paper's term syntax, ``f(a, g(b))``.
+
+    Non-string labels are rendered with ``str``; labels containing
+    delimiter characters are double-quoted so that parsing round-trips.
+    """
+    label = node.label if isinstance(node.label, str) else str(node.label)
+    if not label or not all(_is_ident_char(ch) for ch in label):
+        label = '"' + label.replace('"', '\\"') + '"'
+    if not node.children:
+        return label
+    inner = ", ".join(format_term(child) for child in node.children)
+    return f"{label}({inner})"
+
+
+class _TermParser:
+    """Recursive-descent parser for the term syntax."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def parse_label(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text):
+            raise self.error("expected a label")
+        if self.text[self.pos] == '"':
+            self.pos += 1
+            out: List[str] = []
+            while self.pos < len(self.text) and self.text[self.pos] != '"':
+                if self.text[self.pos] == "\\" and self.pos + 1 < len(self.text):
+                    self.pos += 1
+                out.append(self.text[self.pos])
+                self.pos += 1
+            if self.pos >= len(self.text):
+                raise self.error("unterminated quoted label")
+            self.pos += 1
+            return "".join(out)
+        start = self.pos
+        while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error(f"unexpected character {self.text[self.pos]!r}")
+        return self.text[start : self.pos]
+
+    def parse_tree(self) -> Tree:
+        label = self.parse_label()
+        self.skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == "(":
+            self.pos += 1
+            self.skip_ws()
+            children: List[Tree] = []
+            if self.pos < len(self.text) and self.text[self.pos] == ")":
+                self.pos += 1
+                return Tree(label, ())
+            while True:
+                children.append(self.parse_tree())
+                self.skip_ws()
+                if self.pos >= len(self.text):
+                    raise self.error("unterminated argument list")
+                ch = self.text[self.pos]
+                self.pos += 1
+                if ch == ")":
+                    return Tree(label, tuple(children))
+                if ch != ",":
+                    raise self.error(f"expected ',' or ')', got {ch!r}")
+        return Tree(label, ())
+
+
+def parse_term(text: str) -> Tree:
+    """Parse the paper's term syntax: ``parse_term("f(a, g(b))")``.
+
+    >>> parse_term("root(a(#,#), b)").size
+    5
+    """
+    parser = _TermParser(text)
+    result = parser.parse_tree()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        raise parser.error("trailing input after term")
+    return result

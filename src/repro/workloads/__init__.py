@@ -1,0 +1,55 @@
+"""Workload definitions shared by tests, examples, and benchmarks.
+
+Each workload bundles a *target* transducer (and domain automaton) for
+one of the paper's worked examples or a parametric family used to
+measure the paper's complexity claims.
+"""
+
+from repro.workloads.flip import flip_transducer, flip_domain, flip_paper_sample
+from repro.workloads.constants import constant_m1, constant_m2, constant_m3
+from repro.workloads.compat import example6_domain, example6_machines
+from repro.workloads.library import (
+    library_input_dtd,
+    library_output_dtd,
+    library_transducer,
+    library_document,
+    library_examples,
+)
+from repro.workloads.xmlflip import (
+    xmlflip_input_dtd,
+    xmlflip_output_dtd,
+    xmlflip_transducer,
+    xmlflip_document,
+    xmlflip_examples,
+)
+from repro.workloads.families import (
+    cycle_relabel,
+    rotate_lists,
+    exp_full_binary,
+    random_total_dtop,
+)
+
+__all__ = [
+    "flip_transducer",
+    "flip_domain",
+    "flip_paper_sample",
+    "constant_m1",
+    "constant_m2",
+    "constant_m3",
+    "example6_domain",
+    "example6_machines",
+    "library_input_dtd",
+    "library_output_dtd",
+    "library_transducer",
+    "library_document",
+    "library_examples",
+    "xmlflip_input_dtd",
+    "xmlflip_output_dtd",
+    "xmlflip_transducer",
+    "xmlflip_document",
+    "xmlflip_examples",
+    "cycle_relabel",
+    "rotate_lists",
+    "exp_full_binary",
+    "random_total_dtop",
+]

@@ -1,0 +1,81 @@
+"""Example 6 (Section 7): the compatibility conditions (C0)–(C2).
+
+The identity on ``D = {f(c,a), f(c,b)}`` admits several earliest-ish
+transducers: ``M0`` violates (C0), ``M2`` violates (C1), ``M3`` violates
+(C2); ``M1`` — two states — is the unique minimal earliest compatible
+transducer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.automata.dtta import DTTA
+from repro.trees.alphabet import RankedAlphabet
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import call, rhs_tree
+
+EX6_ALPHABET = RankedAlphabet({"f": 2, "g": 1, "a": 0, "b": 0, "c": 0})
+EX6_OUTPUT = RankedAlphabet({"f": 2, "a": 0, "b": 0, "c": 0})
+
+
+def example6_domain() -> DTTA:
+    """``D = {f(c, a), f(c, b)}``."""
+    return DTTA(
+        EX6_ALPHABET,
+        "top",
+        {
+            ("top", "f"): ("first", "second"),
+            ("first", "c"): (),
+            ("second", "a"): (),
+            ("second", "b"): (),
+        },
+    )
+
+
+def example6_machines() -> Dict[str, DTOP]:
+    """The four machines ``M0``–``M3`` of Example 6."""
+    axiom_emitting = rhs_tree(("f", "c", ("q0", 0)))
+
+    m0 = DTOP(
+        EX6_ALPHABET,
+        EX6_OUTPUT,
+        axiom_emitting,
+        {
+            ("q0", "f"): rhs_tree(("q0", 2)),
+            ("q0", "a"): rhs_tree("a"),
+            ("q0", "b"): rhs_tree("b"),
+        },
+    )
+    m1 = DTOP(
+        EX6_ALPHABET,
+        EX6_OUTPUT,
+        axiom_emitting,
+        {
+            ("q0", "f"): rhs_tree(("q1", 2)),
+            ("q1", "a"): rhs_tree("a"),
+            ("q1", "b"): rhs_tree("b"),
+        },
+    )
+    m2 = DTOP(
+        EX6_ALPHABET,
+        EX6_OUTPUT,
+        call("q0", 0),
+        {
+            ("q0", "f"): rhs_tree(("f", "c", ("q0", 2))),
+            ("q0", "a"): rhs_tree("a"),
+            ("q0", "b"): rhs_tree("b"),
+        },
+    )
+    m3 = DTOP(
+        EX6_ALPHABET,
+        EX6_OUTPUT,
+        axiom_emitting,
+        {
+            ("q0", "f"): rhs_tree(("q1", 2)),
+            ("q1", "a"): rhs_tree("a"),
+            ("q1", "b"): rhs_tree("b"),
+            ("q0", "g"): rhs_tree("a"),
+        },
+    )
+    return {"M0": m0, "M1": m1, "M2": m2, "M3": m3}

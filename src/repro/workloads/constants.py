@@ -1,0 +1,43 @@
+"""The constant transducers of Examples 1–2 (Sections 2–3).
+
+All three define the constant translation mapping every tree over
+``{f/2, a/0}`` to the output ``b``; only ``M1`` (output in the axiom) is
+earliest.
+"""
+
+from __future__ import annotations
+
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import call, rhs_tree
+
+CONST_INPUT = RankedAlphabet({"f": 2, "a": 0})
+CONST_OUTPUT = RankedAlphabet({"b": 0})
+
+
+def constant_m1() -> DTOP:
+    """Axiom ``b``, no states, no rules — earliest."""
+    return DTOP(CONST_INPUT, CONST_OUTPUT, Tree("b", ()), {})
+
+
+def constant_m2() -> DTOP:
+    """One state emitting ``b`` at the root — not earliest."""
+    axiom = call("q0", 0)
+    rules = {
+        ("q0", "f"): rhs_tree("b"),
+        ("q0", "a"): rhs_tree("b"),
+    }
+    return DTOP(CONST_INPUT, CONST_OUTPUT, axiom, rules)
+
+
+def constant_m3() -> DTOP:
+    """Outputs ``b`` below the first child when it exists — not earliest."""
+    axiom = call("q0", 0)
+    rules = {
+        ("q0", "f"): rhs_tree(("q1", 1)),
+        ("q0", "a"): rhs_tree("b"),
+        ("q1", "f"): rhs_tree("b"),
+        ("q1", "a"): rhs_tree("b"),
+    }
+    return DTOP(CONST_INPUT, CONST_OUTPUT, axiom, rules)

@@ -1,0 +1,139 @@
+"""Parametric transducer families for scaling measurements.
+
+These drive the quantitative experiments: E6 (learning time polynomial
+in the machine size, Theorem 38), E7 (characteristic-sample cardinality
+polynomial, Proposition 34), and E8 (exponential outputs as linear
+DAGs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.automata.dtta import DTTA
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import Call, call, rhs_tree
+
+
+def cycle_relabel(n: int) -> Tuple[DTOP, DTTA]:
+    """A monadic relabeling with an ``n``-state cycle.
+
+    Input words over ``{a}``; the letter at depth ``i`` is relabeled
+    ``c{i mod n}``.  The canonical transducer needs exactly ``n`` states,
+    so the family sweeps machine size linearly.
+    """
+    input_alphabet = RankedAlphabet({"a": 1, "e": 0})
+    output_ranks = {f"c{i}": 1 for i in range(n)}
+    output_ranks.update({"e": 0})
+    output_alphabet = RankedAlphabet(output_ranks)
+    rules = {}
+    for i in range(n):
+        rules[(f"q{i}", "a")] = Tree(
+            f"c{i}", (call(f"q{(i + 1) % n}", 1),)
+        )
+        rules[(f"q{i}", "e")] = Tree("e", ())
+    dtop = DTOP(input_alphabet, output_alphabet, call("q0", 0), rules)
+    domain = DTTA(
+        input_alphabet, "w", {("w", "a"): ("w",), ("w", "e"): ()}
+    )
+    return dtop, domain
+
+
+def rotate_lists(k: int) -> Tuple[DTOP, DTTA]:
+    """Rotate ``k`` monadic lists under a ``k``-ary root by one position.
+
+    Generalizes ``τ_flip`` (k = 2 is a swap); state count grows with
+    ``k`` while keeping rule shapes constant — a second scaling axis for
+    E6/E7.
+    """
+    ranks: Dict[str, int] = {"root": k, "#": 0}
+    for i in range(k):
+        ranks[f"s{i}"] = 2
+    alphabet = RankedAlphabet(ranks)
+    axiom = Tree("root", tuple(call(f"p{i}", 0) for i in range(k)))
+    rules = {}
+    for i in range(k):
+        source = (i + 1) % k
+        rules[(f"p{i}", "root")] = call(f"l{source}", source + 1)
+    for i in range(k):
+        rules[(f"l{i}", f"s{i}")] = Tree(
+            f"s{i}", (Tree("#", ()), call(f"l{i}", 2))
+        )
+        rules[(f"l{i}", "#")] = Tree("#", ())
+    dtop = DTOP(alphabet, alphabet, axiom, rules)
+    transitions = {
+        ("r", "root"): tuple(f"c{i}" for i in range(k)),
+        ("z", "#"): (),
+    }
+    for i in range(k):
+        transitions[(f"c{i}", f"s{i}")] = ("z", f"c{i}")
+        transitions[(f"c{i}", "#")] = ()
+    domain = DTTA(alphabet, "r", transitions)
+    return dtop, domain
+
+
+def exp_full_binary() -> Tuple[DTOP, DTTA]:
+    """Monadic input of height ``n`` ↦ full binary tree of height ``n``.
+
+    The paper's Section 1 remark: output trees are exponential in the
+    input, but their minimal DAGs (and our DAG-producing evaluation) stay
+    linear.
+    """
+    input_alphabet = RankedAlphabet({"a": 1, "e": 0})
+    output_alphabet = RankedAlphabet({"f": 2, "l": 0})
+    rules = {
+        ("q", "a"): Tree("f", (call("q", 1), call("q", 1))),
+        ("q", "e"): Tree("l", ()),
+    }
+    dtop = DTOP(input_alphabet, output_alphabet, call("q", 0), rules)
+    domain = DTTA(
+        input_alphabet, "w", {("w", "a"): ("w",), ("w", "e"): ()}
+    )
+    return dtop, domain
+
+
+def random_total_dtop(
+    num_states: int,
+    seed: int,
+    max_rhs_depth: int = 2,
+    copy_probability: float = 0.25,
+) -> Tuple[DTOP, DTTA]:
+    """A random total DTOP over ``{f/2, g/1, c/0}`` → ``{h/2, u/1, d/0, e/0}``.
+
+    Every (state, symbol) pair gets a rule, so the domain is all input
+    trees (the returned DTTA is universal).  Used by property-based tests:
+    canonicalize → sample → learn must reproduce the canonical machine.
+    """
+    rng = random.Random(seed)
+    input_alphabet = RankedAlphabet({"f": 2, "g": 1, "c": 0})
+    output_alphabet = RankedAlphabet({"h": 2, "u": 1, "d": 0, "e": 0})
+    states = [f"q{i}" for i in range(num_states)]
+
+    def random_rhs(rank: int, depth: int) -> Tree:
+        can_call = rank > 0
+        if depth <= 0 or rng.random() < 0.4:
+            if can_call and rng.random() < 0.5:
+                return call(rng.choice(states), rng.randint(1, rank))
+            return Tree(rng.choice(["d", "e"]), ())
+        symbol = rng.choice(["h", "u"])
+        arity = 2 if symbol == "h" else 1
+        children = tuple(
+            random_rhs(rank, depth - 1 if rng.random() > copy_probability else 0)
+            for _ in range(arity)
+        )
+        return Tree(symbol, children)
+
+    rules = {}
+    for state in states:
+        for symbol, rank in input_alphabet.items():
+            rules[(state, symbol)] = random_rhs(rank, max_rhs_depth)
+    dtop = DTOP(input_alphabet, output_alphabet, call("q0", 0), rules)
+    domain = DTTA(
+        input_alphabet,
+        "*",
+        {("*", "f"): ("*", "*"), ("*", "g"): ("*",), ("*", "c"): ()},
+    )
+    return dtop, domain

@@ -1,0 +1,88 @@
+"""The paper's running example ``τ_flip`` (Introduction and Example 7).
+
+``τ_flip`` exchanges a list of ``a``-nodes with a list of ``b``-nodes,
+both in first-child/next-sibling encoding below a binary ``root``.  The
+minimal earliest transducer ``M_flip`` has 4 states; the paper's
+characteristic sample has 4 pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.automata.dtta import DTTA
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import call, rhs_tree
+
+FLIP_ALPHABET = RankedAlphabet({"root": 2, "a": 2, "b": 2, "#": 0})
+
+
+def flip_transducer() -> DTOP:
+    """The paper's ``M_flip``: axiom ``root(⟨q1,x0⟩, ⟨q2,x0⟩)`` etc."""
+    axiom = Tree("root", (call("q1", 0), call("q2", 0)))
+    rules = {
+        ("q1", "root"): rhs_tree(("q3", 2)),
+        ("q2", "root"): rhs_tree(("q4", 1)),
+        ("q3", "#"): rhs_tree("#"),
+        ("q3", "b"): rhs_tree(("b", "#", ("q3", 2))),
+        ("q4", "#"): rhs_tree("#"),
+        ("q4", "a"): rhs_tree(("a", "#", ("q4", 2))),
+    }
+    return DTOP(FLIP_ALPHABET, FLIP_ALPHABET, axiom, rules)
+
+
+def flip_domain() -> DTTA:
+    """``root(a-list, b-list)`` with fc/ns-encoded monadic lists."""
+    return DTTA(
+        FLIP_ALPHABET,
+        "r",
+        {
+            ("r", "root"): ("la", "lb"),
+            ("la", "a"): ("e", "la"),
+            ("la", "#"): (),
+            ("lb", "b"): ("e", "lb"),
+            ("lb", "#"): (),
+            ("e", "#"): (),
+        },
+    )
+
+
+def a_list(length: int) -> Tree:
+    node = Tree("#", ())
+    for _ in range(length):
+        node = Tree("a", (Tree("#", ()), node))
+    return node
+
+
+def b_list(length: int) -> Tree:
+    node = Tree("#", ())
+    for _ in range(length):
+        node = Tree("b", (Tree("#", ()), node))
+    return node
+
+
+def flip_input(n_as: int, n_bs: int) -> Tree:
+    """``root(a-list of n, b-list of m)``."""
+    return Tree("root", (a_list(n_as), b_list(n_bs)))
+
+
+def flip_output(n_as: int, n_bs: int) -> Tree:
+    return Tree("root", (b_list(n_bs), a_list(n_as)))
+
+
+def flip_paper_sample() -> List[Tuple[Tree, Tree]]:
+    """The 4-pair characteristic sample of Example 7.
+
+    The paper prints the fourth pair as ``root(a(a(#,#),#), b(b(#,#),#))``
+    — lists nested in the *first* child — which contradicts both the
+    Introduction's fc/ns list shape ``a(#, a(#, #))`` and the rules of
+    ``M_flip`` (which recurse on ``x2``).  We use the evident intent:
+    both lists of length two, nested in the second child.
+    """
+    pairs = [(0, 0), (1, 0), (0, 1), (2, 2)]
+    sample = []
+    for n_as, n_bs in pairs:
+        sample.append((flip_input(n_as, n_bs), flip_output(n_as, n_bs)))
+    return sample

@@ -1,0 +1,195 @@
+"""The Section 10 library transformation.
+
+Input DTD: ``LIBRARY (BOOK*)``, ``BOOK (AUTHOR, TITLE, YEAR)``.
+Output DTD: ``LIBRARY (SUMMARY, BOOK*)``, ``SUMMARY (TITLE*)``,
+``BOOK (TITLE, AUTHOR)``.
+
+The transformation swaps author and title, deletes the year, and *copies*
+all titles into a fresh summary — exercising swapping, deletion, and
+copying at once.  The paper states the canonical transducer (on fused
+encodings) has **fourteen states** and that ``S = {(s0,t0),…,(s3,t3)}``
+(libraries with 0–3 books) is characteristic for it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import rhs_tree
+from repro.xml.dtd import DTD, parse_dtd
+from repro.xml.encode import DTDEncoder
+from repro.xml.unranked import UTree, element, text
+
+INPUT_DTD_TEXT = """
+<!ELEMENT LIBRARY (BOOK*) >
+<!ELEMENT BOOK (AUTHOR, TITLE, YEAR) >
+<!ELEMENT AUTHOR #PCDATA >
+<!ELEMENT TITLE #PCDATA >
+<!ELEMENT YEAR #PCDATA >
+"""
+
+OUTPUT_DTD_TEXT = """
+<!ELEMENT LIBRARY (SUMMARY, BOOK*) >
+<!ELEMENT SUMMARY (TITLE*) >
+<!ELEMENT BOOK (TITLE, AUTHOR) >
+<!ELEMENT AUTHOR #PCDATA >
+<!ELEMENT TITLE #PCDATA >
+"""
+
+
+def library_input_dtd() -> DTD:
+    return parse_dtd(INPUT_DTD_TEXT)
+
+
+def library_output_dtd() -> DTD:
+    return parse_dtd(OUTPUT_DTD_TEXT)
+
+
+def library_transducer() -> DTOP:
+    """A hand-written target for the transformation on *fused* encodings.
+
+    Input symbols: ``LIBRARY/1``, ``BOOK*/2``, ``BOOK/3`` (fused),
+    ``AUTHOR/1``, ``TITLE/1``, ``YEAR/1``, ``pcdata/0``, ``#/0``.
+    Output symbols: ``LIBRARY/2`` (fused), ``SUMMARY/1``, ``TITLE*/2``,
+    ``BOOK*/2``, ``BOOK/2`` (fused), ``TITLE/1``, ``AUTHOR/1``,
+    ``pcdata/0``, ``#/0``.
+
+    This is *not* the canonical machine — :func:`repro.transducers.
+    minimize.canonicalize` turns it into the paper's 14-state one.
+    """
+    input_encoder = DTDEncoder(library_input_dtd(), fuse=True)
+    output_encoder = DTDEncoder(library_output_dtd(), fuse=True)
+    axiom = rhs_tree(
+        ("LIBRARY", ("SUMMARY", ("qTlist", 0)), ("qBlist", 0))
+    )
+    rules = {
+        ("qTlist", "LIBRARY"): rhs_tree(("qTl", 1)),
+        ("qBlist", "LIBRARY"): rhs_tree(("qBl", 1)),
+        ("qTl", "BOOK*"): rhs_tree(("TITLE*", ("qTitle", 1), ("qTl", 2))),
+        ("qTl", "#"): rhs_tree("#"),
+        ("qBl", "BOOK*"): rhs_tree(("BOOK*", ("qBook", 1), ("qBl", 2))),
+        ("qBl", "#"): rhs_tree("#"),
+        ("qTitle", "BOOK"): rhs_tree(("qT", 2)),
+        ("qTitle", "#"): rhs_tree("#"),
+        ("qBook", "BOOK"): rhs_tree(("BOOK", ("qT", 2), ("qA", 1))),
+        ("qBook", "#"): rhs_tree("#"),
+        ("qT", "TITLE"): rhs_tree(("TITLE", ("qP", 1))),
+        ("qA", "AUTHOR"): rhs_tree(("AUTHOR", ("qP", 1))),
+        ("qP", "pcdata"): rhs_tree("pcdata"),
+    }
+    return DTOP(input_encoder.alphabet, output_encoder.alphabet, axiom, rules)
+
+
+def library_book(author: str, title: str, year: str) -> UTree:
+    return element(
+        "BOOK",
+        element("AUTHOR", text(author)),
+        element("TITLE", text(title)),
+        element("YEAR", text(year)),
+    )
+
+
+def library_document(num_books: int) -> UTree:
+    """The paper's ``s_i``: a library with ``i`` books."""
+    books = [
+        library_book(f"author{k}", f"title{k}", f"{1990 + k}")
+        for k in range(1, num_books + 1)
+    ]
+    return element("LIBRARY", *books)
+
+
+def transform_library(document: UTree) -> UTree:
+    """The intended semantics, written directly on unranked trees."""
+    books = document.children
+    titles = [
+        UTree("TITLE", book.children[1].children) for book in books
+    ]
+    summary = UTree("SUMMARY", tuple(titles))
+    new_books = [
+        UTree(
+            "BOOK",
+            (
+                UTree("TITLE", book.children[1].children),
+                UTree("AUTHOR", book.children[0].children),
+            ),
+        )
+        for book in books
+    ]
+    return UTree("LIBRARY", (summary,) + tuple(new_books))
+
+
+def library_examples(counts: Tuple[int, ...] = (0, 1, 2, 3)) -> List[Tuple[UTree, UTree]]:
+    """The paper's sample ``{(s0,t0), …, (s3,t3)}`` (default 0–3 books)."""
+    return [
+        (library_document(i), transform_library(library_document(i)))
+        for i in counts
+    ]
+
+
+def library_suffix_document(num_books: int) -> UTree:
+    """A library whose book list is a nested suffix chain.
+
+    ``library_suffix_document(k)`` has books ``[b_k, …, b_2, b_1]``, so
+    the *rest* of its list equals the full list of
+    ``library_suffix_document(k-1)``.  Document-only learning needs this
+    overlap: the learner can then observe that the rest-of-list states
+    behave like the full-list states on shared inputs (condition (N)
+    evidence from real documents).  Book texts alternate abstract values.
+    """
+    books = [
+        library_book(f"author{k}", f"title{k}", f"{1990 + k}")
+        for k in range(num_books, 0, -1)
+    ]
+    return element("LIBRARY", *books)
+
+
+def library_suffix_examples(max_count: int = 3) -> List[Tuple[UTree, UTree]]:
+    """Suffix-chain example documents with 0..max_count books."""
+    return [
+        (
+            library_suffix_document(i),
+            transform_library(library_suffix_document(i)),
+        )
+        for i in range(max_count + 1)
+    ]
+
+
+#: Books varying one text field at a time across the two abstract values
+#: (byte-sum parity): P is all-even; Q flips only the title; R only the
+#: author.  This one-factor-at-a-time structure resolves the variable
+#: alignment inside BOOK nodes from documents alone.
+BOOK_P = ("aa", "cc", "2000")
+BOOK_Q = ("aa", "cd", "2000")
+BOOK_R = ("ab", "cc", "2000")
+
+
+def library_teaching_examples() -> List[Tuple[UTree, UTree]]:
+    """Document examples sufficient for *document-only* learning.
+
+    Built for the compact-lists + abstract-values encoding.  The set
+    varies every independent position the learner must resolve:
+
+    * singleton libraries with books varying one text field at a time —
+      fixes the variable alignment both at list nodes (same rest,
+      different head) and inside BOOK nodes (same author/year, different
+      title, and vice versa);
+    * suffix-overlapping lists — provides merge evidence between
+      rest-of-list and full-list states;
+    * both text values at every copied pcdata position — forces copy
+      rules for ``v0`` and ``v1``.
+    """
+    p_book = library_book(*BOOK_P)
+    q_book = library_book(*BOOK_Q)
+    r_book = library_book(*BOOK_R)
+    documents = [
+        element("LIBRARY"),
+        element("LIBRARY", p_book),
+        element("LIBRARY", q_book),
+        element("LIBRARY", r_book),
+        element("LIBRARY", q_book, p_book),
+        element("LIBRARY", r_book, p_book),
+        element("LIBRARY", r_book, q_book, p_book),
+    ]
+    return [(doc, transform_library(doc)) for doc in documents]

@@ -1,0 +1,87 @@
+"""The ``xmlflip`` transformation (Sections 1 and 10).
+
+A root with ``n`` ``a``-children followed by ``m`` ``b``-children maps to
+a root with the ``b``s first.  No DTOP on fc/ns encodings can do this
+(a DTOP cannot change the order of nodes on a path), but on the
+DTD-based encoding a small DTOP can; the paper reports **twelve states
+and sixteen rules**, learnable from four examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import rhs_tree
+from repro.xml.dtd import DTD, parse_dtd
+from repro.xml.encode import DTDEncoder
+from repro.xml.unranked import UTree, element
+
+INPUT_DTD_TEXT = """
+<!ELEMENT root (a*,b*) >
+<!ELEMENT a EMPTY >
+<!ELEMENT b EMPTY >
+"""
+
+OUTPUT_DTD_TEXT = """
+<!ELEMENT root (b*,a*) >
+<!ELEMENT a EMPTY >
+<!ELEMENT b EMPTY >
+"""
+
+
+def xmlflip_input_dtd() -> DTD:
+    return parse_dtd(INPUT_DTD_TEXT)
+
+
+def xmlflip_output_dtd() -> DTD:
+    return parse_dtd(OUTPUT_DTD_TEXT)
+
+
+def xmlflip_transducer() -> DTOP:
+    """A hand-written target on the (unfused) DTD encodings.
+
+    Input: ``root("(a*,b*)"(a-list, b-list))``; output with the lists
+    exchanged under the ``"(b*,a*)"`` node.
+    """
+    input_encoder = DTDEncoder(xmlflip_input_dtd())
+    output_encoder = DTDEncoder(xmlflip_output_dtd())
+    axiom = rhs_tree(("root", ("qr", 0)))
+    rules = {
+        ("qr", "root"): rhs_tree(("(b*,a*)", ("qbpick", 1), ("qapick", 1))),
+        ("qbpick", "(a*,b*)"): rhs_tree(("qbl", 2)),
+        ("qapick", "(a*,b*)"): rhs_tree(("qal", 1)),
+        ("qal", "a*"): rhs_tree(("a*", ("qa", 1), ("qal", 2))),
+        ("qal", "#"): rhs_tree("#"),
+        ("qbl", "b*"): rhs_tree(("b*", ("qb", 1), ("qbl", 2))),
+        ("qbl", "#"): rhs_tree("#"),
+        ("qa", "a"): rhs_tree("a"),
+        ("qa", "#"): rhs_tree("#"),
+        ("qb", "b"): rhs_tree("b"),
+        ("qb", "#"): rhs_tree("#"),
+    }
+    return DTOP(input_encoder.alphabet, output_encoder.alphabet, axiom, rules)
+
+
+def xmlflip_document(n_as: int, n_bs: int) -> UTree:
+    children = [element("a") for _ in range(n_as)] + [
+        element("b") for _ in range(n_bs)
+    ]
+    return element("root", *children)
+
+
+def transform_xmlflip(document: UTree) -> UTree:
+    a_children = [c for c in document.children if c.label == "a"]
+    b_children = [c for c in document.children if c.label == "b"]
+    return UTree("root", tuple(b_children + a_children))
+
+
+def xmlflip_examples(
+    shapes: Tuple[Tuple[int, int], ...] = ((0, 0), (1, 0), (0, 1), (2, 2))
+) -> List[Tuple[UTree, UTree]]:
+    """Example document pairs (default: the four shapes the paper needs)."""
+    return [
+        (xmlflip_document(n, m), transform_xmlflip(xmlflip_document(n, m)))
+        for n, m in shapes
+    ]

@@ -1,0 +1,319 @@
+"""DTDs: element declarations with regular-expression content models.
+
+A DTD over a label set ``F`` is a start symbol plus a map from each
+element to a regular expression over ``F`` (Section 10 of the paper).
+The grammar of content models is the W3C one::
+
+    model   ::= "EMPTY" | "(#PCDATA)" | "#PCDATA" | re
+    re      ::= seq | alt | unary
+    seq     ::= "(" re ("," re)+ ")"
+    alt     ::= "(" re ("|" re)+ ")"
+    unary   ::= atom | re "*" | re "+" | re "?"
+    atom    ::= name | "(" re ")"
+
+Every subexpression carries a *label* — the string the DTD-based
+encoding uses as a ranked tree symbol, e.g. ``"a*"`` or ``"(a*,b*)"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Tuple, Union
+
+from repro.errors import DTDError, ParseError
+
+#: The encoding symbol for absent/terminated optional content.
+HASH_LABEL = "#"
+#: The encoding symbol for character data.
+PCDATA_SYMBOL = "pcdata"
+
+
+class ContentModel:
+    """Base class of content-model regular expressions."""
+
+    def label(self) -> str:
+        """The ranked-alphabet symbol this subexpression encodes to."""
+        raise NotImplementedError
+
+    def subexpressions(self) -> Iterator["ContentModel"]:
+        """This node and all descendants, pre-order."""
+        yield self
+
+
+@dataclass(frozen=True)
+class Empty(ContentModel):
+    """``EMPTY`` content: the element encodes as a rank-0 symbol."""
+
+    def label(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class PCDataRe(ContentModel):
+    """``#PCDATA`` content."""
+
+    def label(self) -> str:
+        return PCDATA_SYMBOL
+
+
+@dataclass(frozen=True)
+class ElementRe(ContentModel):
+    """A reference to an element by name."""
+
+    name: str
+
+    def label(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(ContentModel):
+    """``R*`` — encodes as a binary cons-list symbol ``"R*"``."""
+
+    inner: ContentModel
+
+    def label(self) -> str:
+        return _wrap(self.inner) + "*"
+
+    def subexpressions(self) -> Iterator[ContentModel]:
+        yield self
+        yield from self.inner.subexpressions()
+
+
+@dataclass(frozen=True)
+class Plus(ContentModel):
+    """``R+`` — encodes as a binary symbol ``"R+"`` (non-empty list)."""
+
+    inner: ContentModel
+
+    def label(self) -> str:
+        return _wrap(self.inner) + "+"
+
+    def subexpressions(self) -> Iterator[ContentModel]:
+        yield self
+        yield from self.inner.subexpressions()
+
+
+@dataclass(frozen=True)
+class Opt(ContentModel):
+    """``R?`` — encodes as a unary symbol ``"R?"``."""
+
+    inner: ContentModel
+
+    def label(self) -> str:
+        return _wrap(self.inner) + "?"
+
+    def subexpressions(self) -> Iterator[ContentModel]:
+        yield self
+        yield from self.inner.subexpressions()
+
+
+@dataclass(frozen=True)
+class Seq(ContentModel):
+    """``(R1, …, Rn)`` — encodes as a rank-``n`` symbol."""
+
+    parts: Tuple[ContentModel, ...]
+
+    def label(self) -> str:
+        return "(" + ",".join(p.label() for p in self.parts) + ")"
+
+    def subexpressions(self) -> Iterator[ContentModel]:
+        yield self
+        for part in self.parts:
+            yield from part.subexpressions()
+
+
+@dataclass(frozen=True)
+class Alt(ContentModel):
+    """``(R1 | … | Rn)`` — encodes as a rank-1 symbol."""
+
+    parts: Tuple[ContentModel, ...]
+
+    def label(self) -> str:
+        return "(" + "|".join(p.label() for p in self.parts) + ")"
+
+    def subexpressions(self) -> Iterator[ContentModel]:
+        yield self
+        for part in self.parts:
+            yield from part.subexpressions()
+
+
+def _wrap(model: ContentModel) -> str:
+    """Parenthesize an operand where the W3C syntax requires it."""
+    label = model.label()
+    if isinstance(model, (Seq, Alt)):
+        return label  # already parenthesized
+    if isinstance(model, (Star, Plus, Opt)):
+        return "(" + label + ")"
+    return label
+
+
+@dataclass(frozen=True)
+class DTD:
+    """A document type definition: start element + content models."""
+
+    start: str
+    elements: Mapping[str, ContentModel]
+
+    def __post_init__(self) -> None:
+        if self.start not in self.elements:
+            raise DTDError(f"start element {self.start!r} is not declared")
+        for name, model in self.elements.items():
+            for sub in model.subexpressions():
+                if isinstance(sub, ElementRe) and sub.name not in self.elements:
+                    raise DTDError(
+                        f"content model of {name!r} references undeclared "
+                        f"element {sub.name!r}"
+                    )
+
+    def content(self, name: str) -> ContentModel:
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise DTDError(f"element {name!r} is not declared") from None
+
+    def describe(self) -> str:
+        lines = []
+        for name in self.elements:
+            model = self.elements[name]
+            if isinstance(model, Empty):
+                body = "EMPTY"
+            elif isinstance(model, PCDataRe):
+                body = "#PCDATA"
+            else:
+                body = model.label()
+            lines.append(f"<!ELEMENT {name} {body} >")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class _ModelParser:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return DTDError(f"{message} at {self.pos} in content model {self.source!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected an element name")
+        return self.source[start : self.pos]
+
+    def parse_atom(self) -> ContentModel:
+        ch = self.peek()
+        if ch == "(":
+            self.pos += 1
+            return self.parse_group()
+        if ch == "#":
+            self.pos += 1
+            word = self.parse_name()
+            if word != "PCDATA":
+                raise self.error(f"unknown keyword #{word}")
+            return PCDataRe()
+        return ElementRe(self.parse_name())
+
+    def parse_postfix(self) -> ContentModel:
+        atom = self.parse_atom()
+        while True:
+            ch = self.source[self.pos] if self.pos < len(self.source) else ""
+            if ch == "*":
+                atom = Star(atom)
+            elif ch == "+":
+                atom = Plus(atom)
+            elif ch == "?":
+                atom = Opt(atom)
+            else:
+                return atom
+            self.pos += 1
+
+    def parse_group(self) -> ContentModel:
+        """Parse after '(': a sequence, choice, or single parenthesized re."""
+        parts = [self.parse_postfix()]
+        separator = None
+        while True:
+            ch = self.peek()
+            if ch == ")":
+                self.pos += 1
+                break
+            if ch not in ",|":
+                raise self.error(f"expected ',', '|' or ')', got {ch!r}")
+            if separator is None:
+                separator = ch
+            elif ch != separator:
+                raise self.error("mixed ',' and '|' require parentheses")
+            self.pos += 1
+            parts.append(self.parse_postfix())
+        if separator == "|":
+            return Alt(tuple(parts))
+        if separator == ",":
+            return Seq(tuple(parts))
+        return parts[0]
+
+    def parse(self) -> ContentModel:
+        self.skip_ws()
+        if self.source[self.pos :].strip() == "EMPTY":
+            return Empty()
+        model = self.parse_postfix()
+        self.skip_ws()
+        if self.pos != len(self.source):
+            raise self.error("trailing input in content model")
+        return model
+
+
+def parse_content_model(source: str) -> ContentModel:
+    """Parse a W3C content model string, e.g. ``"(AUTHOR, TITLE, YEAR?)"``.
+
+    >>> parse_content_model("(a*, b*)").label()
+    '(a*,b*)'
+    """
+    return _ModelParser(source.strip()).parse()
+
+
+def parse_dtd(source: str, start: str = "") -> DTD:
+    """Parse a sequence of ``<!ELEMENT name model>`` declarations.
+
+    The first declared element is the start symbol unless ``start`` names
+    another one.
+    """
+    elements: Dict[str, ContentModel] = {}
+    first = ""
+    pos = 0
+    while True:
+        begin = source.find("<!ELEMENT", pos)
+        if begin == -1:
+            break
+        end = source.find(">", begin)
+        if end == -1:
+            raise DTDError("unterminated <!ELEMENT declaration")
+        body = source[begin + len("<!ELEMENT") : end].strip()
+        pos = end + 1
+        name, _, model_text = body.partition(" ")
+        if not name or not model_text.strip():
+            raise DTDError(f"malformed declaration: {body!r}")
+        if name in elements:
+            raise DTDError(f"element {name!r} declared twice")
+        elements[name] = parse_content_model(model_text.strip())
+        if not first:
+            first = name
+    if not elements:
+        raise DTDError("no <!ELEMENT declarations found")
+    return DTD(start or first, elements)

@@ -1,0 +1,145 @@
+"""A DTTA for the (path-closure of the) DTD-encoding language.
+
+The learning algorithm needs a deterministic top-down tree automaton for
+its domain.  With the paper's encoding, the exact set of encodings is
+*not* path-closed (the two children of a ``R*`` node are correlated:
+both ``#`` or both proper), and path-closed languages are all a DTTA can
+accept (Proposition 2).  We therefore build the automaton for the *path
+closure*: at each child position the allowed labels are those some
+encoding exhibits there.  All DTOPs produced on encodings extend
+canonically to this closure, and every actual encoding is accepted, so
+learning is unaffected — but characteristic samples may contain closure
+trees that encode no document.
+
+With ``compact_lists`` encodings (empty list = ``#``) the encoding
+language *is* path-closed and the automaton is exact.
+
+States are frozensets of *items*: ``("el", name)`` for an element,
+``("re", label)`` for a regular subexpression, and the literal ``"#"``
+for list/option terminators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+from repro.automata.dtta import DTTA
+from repro.errors import DTDError
+from repro.xml.dtd import (
+    Alt,
+    ContentModel,
+    ElementRe,
+    Empty,
+    HASH_LABEL,
+    Opt,
+    PCDataRe,
+    PCDATA_SYMBOL,
+    Plus,
+    Seq,
+    Star,
+)
+from repro.xml.encode import DTDEncoder, VALUE_LABELS
+
+Item = Union[str, Tuple[str, str]]
+State = FrozenSet[Item]
+
+
+def _item_of(model: ContentModel) -> Item:
+    """The item whose moves generate the encodings of ``model``."""
+    if isinstance(model, ElementRe):
+        return ("el", model.name)
+    if isinstance(model, PCDataRe):
+        return ("re", PCDATA_SYMBOL)
+    return ("re", model.label())
+
+
+def schema_dtta(encoder: DTDEncoder) -> DTTA:
+    """Build the domain DTTA for an encoder's DTD (and encoding flags)."""
+    dtd = encoder.dtd
+    registry: Dict[str, ContentModel] = dict(encoder._registry)
+    alphabet = encoder.alphabet
+    compact = encoder.compact_lists
+
+    def occ(model: ContentModel) -> State:
+        """The state accepting ``{enc(model, w) : w parses against model}``."""
+        items: Set[Item] = set()
+
+        def collect(m: ContentModel) -> None:
+            if isinstance(m, Alt):
+                # An Alt encodes with its own node label; occurrences are
+                # the node itself (the union happens below the node).
+                items.add(_item_of(m))
+                return
+            if compact and isinstance(m, Star):
+                items.add(HASH_LABEL)  # the empty list is the leaf '#'
+            items.add(_item_of(m))
+
+        collect(model)
+        return frozenset(items)
+
+    def with_hash(model: ContentModel) -> State:
+        return occ(model) | {HASH_LABEL}
+
+    def element_children(name: str) -> Tuple[State, ...]:
+        model = dtd.content(name)
+        if isinstance(model, Empty):
+            return ()
+        if encoder.fuse and isinstance(model, Seq):
+            return tuple(occ(part) for part in model.parts)
+        return (occ(model),)
+
+    def item_transitions(item: Item) -> List[Tuple[str, Tuple[State, ...]]]:
+        """The (symbol, child states) moves available from one item."""
+        if item == HASH_LABEL:
+            return [(HASH_LABEL, ())]
+        if item == "$value":
+            return [(value_label, ()) for value_label in VALUE_LABELS]
+        kind, name = item  # type: ignore[misc]
+        if kind == "el":
+            return [(name, element_children(name))]
+        if name == PCDATA_SYMBOL:
+            if encoder.abstract_values:
+                return [(PCDATA_SYMBOL, (frozenset({"$value"}),))]
+            return [(PCDATA_SYMBOL, ())]
+        model = registry.get(name)
+        if model is None:
+            raise DTDError(f"no registered content model for symbol {name!r}")
+        if isinstance(model, Star):
+            if compact:
+                return [(name, (occ(model.inner), with_hash(model)))]
+            return [(name, (with_hash(model.inner), with_hash(model)))]
+        if isinstance(model, Plus):
+            return [(name, (occ(model.inner), with_hash(model)))]
+        if isinstance(model, Opt):
+            return [(name, (with_hash(model.inner),))]
+        if isinstance(model, Alt):
+            union: Set[Item] = set()
+            for part in model.parts:
+                union |= occ(part)
+            return [(name, (frozenset(union),))]
+        if isinstance(model, Seq):
+            return [(name, tuple(occ(part) for part in model.parts))]
+        raise DTDError(f"cannot build schema moves for {model!r}")
+
+    initial: State = frozenset({("el", dtd.start)})
+    transitions: Dict[Tuple[State, str], Tuple[State, ...]] = {}
+    seen: Set[State] = {initial}
+    frontier: List[State] = [initial]
+    while frontier:
+        state = frontier.pop()
+        by_symbol: Dict[str, List[Tuple[State, ...]]] = {}
+        for item in sorted(state, key=repr):
+            for symbol, children in item_transitions(item):
+                by_symbol.setdefault(symbol, []).append(children)
+        for symbol, variants in by_symbol.items():
+            rank = alphabet.rank(symbol)
+            merged = tuple(
+                frozenset().union(*(variant[k] for variant in variants))
+                for k in range(rank)
+            )
+            transitions[(state, symbol)] = merged
+            for child in merged:
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+    return DTTA(alphabet, initial, transitions)

@@ -1,0 +1,201 @@
+"""A small XML reader/writer for the element-and-text subset we model.
+
+Supports elements, character data, comments (skipped), processing
+instructions and declarations (skipped), and the five predefined entities.
+Attributes are not part of the paper's tree model; by default their
+presence raises a :class:`~repro.errors.ParseError` (pass
+``ignore_attributes=True`` to drop them silently).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.xml.unranked import PCDATA_LABEL, UTree
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+def _unescape(data: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(data):
+        ch = data[i]
+        if ch == "&":
+            end = data.find(";", i)
+            if end == -1:
+                raise ParseError("unterminated entity reference")
+            name = data[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                out.append(_ENTITIES[name])
+            else:
+                raise ParseError(f"unknown entity &{name};")
+            i = end + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _escape(data: str) -> str:
+    return (
+        data.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+class _XmlParser:
+    def __init__(self, source: str, ignore_attributes: bool):
+        self.source = source
+        self.pos = 0
+        self.ignore_attributes = ignore_attributes
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(f"XML error at offset {self.pos}: {message}")
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs, and declarations."""
+        while self.pos < len(self.source):
+            if self.source[self.pos].isspace():
+                self.pos += 1
+            elif self.source.startswith("<!--", self.pos):
+                end = self.source.find("-->", self.pos)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.source.startswith("<?", self.pos):
+                end = self.source.find("?>", self.pos)
+                if end == -1:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.source.startswith("<!", self.pos):
+                end = self.source.find(">", self.pos)
+                if end == -1:
+                    raise self.error("unterminated declaration")
+                self.pos = end + 1
+            else:
+                return
+
+    def parse_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.source[start : self.pos]
+
+    def parse_element(self) -> UTree:
+        if self.source[self.pos] != "<":
+            raise self.error("expected '<'")
+        self.pos += 1
+        name = self.parse_name()
+        # Attributes.
+        while True:
+            while self.pos < len(self.source) and self.source[self.pos].isspace():
+                self.pos += 1
+            if self.pos >= len(self.source):
+                raise self.error("unterminated start tag")
+            if self.source[self.pos] in "/>":
+                break
+            if not self.ignore_attributes:
+                raise self.error(
+                    f"attributes on <{name}> are not part of the tree model "
+                    f"(pass ignore_attributes=True to drop them)"
+                )
+            self.parse_name()
+            if self.source[self.pos] != "=":
+                raise self.error("malformed attribute")
+            self.pos += 1
+            quote = self.source[self.pos]
+            if quote not in "\"'":
+                raise self.error("attribute value must be quoted")
+            end = self.source.find(quote, self.pos + 1)
+            if end == -1:
+                raise self.error("unterminated attribute value")
+            self.pos = end + 1
+        if self.source.startswith("/>", self.pos):
+            self.pos += 2
+            return UTree(name, ())
+        self.pos += 1  # consume '>'
+        children = self.parse_content(name)
+        return UTree(name, tuple(children))
+
+    def parse_content(self, name: str) -> List[UTree]:
+        children: List[UTree] = []
+        buffer: List[str] = []
+
+        def flush_text() -> None:
+            data = _unescape("".join(buffer))
+            buffer.clear()
+            if data.strip():
+                children.append(UTree(PCDATA_LABEL, (), data.strip()))
+
+        while True:
+            if self.pos >= len(self.source):
+                raise self.error(f"unterminated element <{name}>")
+            if self.source.startswith("</", self.pos):
+                flush_text()
+                self.pos += 2
+                closing = self.parse_name()
+                if closing != name:
+                    raise self.error(f"mismatched tags <{name}> and </{closing}>")
+                while self.pos < len(self.source) and self.source[self.pos].isspace():
+                    self.pos += 1
+                if self.source[self.pos] != ">":
+                    raise self.error("malformed end tag")
+                self.pos += 1
+                return children
+            if self.source.startswith("<!--", self.pos):
+                end = self.source.find("-->", self.pos)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.source[self.pos] == "<":
+                flush_text()
+                children.append(self.parse_element())
+            else:
+                buffer.append(self.source[self.pos])
+                self.pos += 1
+
+
+def parse_xml(source: str, ignore_attributes: bool = False) -> UTree:
+    """Parse an XML document into an unranked tree.
+
+    >>> parse_xml("<a><b/>hi</a>").size
+    3
+    """
+    parser = _XmlParser(source, ignore_attributes)
+    parser.skip_misc()
+    root = parser.parse_element()
+    parser.skip_misc()
+    if parser.pos != len(source):
+        raise parser.error("trailing content after the root element")
+    return root
+
+
+def serialize_xml(tree: UTree, indent: Optional[int] = 2) -> str:
+    """Render an unranked tree as an XML document string."""
+
+    def render(node: UTree, depth: int) -> List[str]:
+        pad = " " * (indent * depth) if indent else ""
+        if node.is_text:
+            return [pad + _escape(node.text if node.text is not None else "")]
+        if not node.children:
+            return [f"{pad}<{node.label}/>"]
+        if len(node.children) == 1 and node.children[0].is_text:
+            child = node.children[0]
+            data = _escape(child.text if child.text is not None else "")
+            return [f"{pad}<{node.label}>{data}</{node.label}>"]
+        lines = [f"{pad}<{node.label}>"]
+        for child in node.children:
+            lines.extend(render(child, depth + 1))
+        lines.append(f"{pad}</{node.label}>")
+        return lines
+
+    return "\n".join(render(tree, 0))

@@ -1,0 +1,78 @@
+"""Rendering a learned DTOP as an XSLT-like template program.
+
+The paper observes that a DTOP over DTD-encoded trees "can, modulo
+syntax, be seen as an XSLT program": rules correspond to
+``xsl:apply-templates`` with the mode playing the state.  This module
+performs that syntactic rendering — it is a presentation device (we do
+not ship an XSLT engine; see DESIGN.md for the substitution note).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import Call
+
+
+def _render_body(node: Tree, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    label = node.label
+    if isinstance(label, Call):
+        lines.append(
+            f'{pad}<xsl:apply-templates select="*[{label.var}]" '
+            f'mode="{label.state}"/>'
+        )
+        return
+    if node.is_leaf:
+        lines.append(f"{pad}<{label}/>")
+        return
+    lines.append(f"{pad}<{label}>")
+    for child in node.children:
+        _render_body(child, depth + 1, lines)
+    lines.append(f"{pad}</{label}>")
+
+
+def to_xslt(transducer: DTOP) -> str:
+    """Render a DTOP as an XSLT-like stylesheet (states become modes).
+
+    >>> print(to_xslt(some_dtop))  # doctest: +SKIP
+    """
+    lines: List[str] = [
+        '<xsl:stylesheet version="1.0" '
+        'xmlns:xsl="http://www.w3.org/1999/XSL/Transform">',
+        "",
+        '  <xsl:template match="/">',
+    ]
+    axiom_lines: List[str] = []
+    _render_body_axiom(transducer.axiom, 2, axiom_lines)
+    lines.extend(axiom_lines)
+    lines.append("  </xsl:template>")
+    for (state, symbol), rhs in sorted(
+        transducer.rules.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        lines.append("")
+        lines.append(f'  <xsl:template match="{symbol}" mode="{state}">')
+        body: List[str] = []
+        _render_body(rhs, 2, body)
+        lines.extend(body)
+        lines.append("  </xsl:template>")
+    lines.append("")
+    lines.append("</xsl:stylesheet>")
+    return "\n".join(lines)
+
+
+def _render_body_axiom(node: Tree, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    label = node.label
+    if isinstance(label, Call):
+        lines.append(f'{pad}<xsl:apply-templates select="." mode="{label.state}"/>')
+        return
+    if node.is_leaf:
+        lines.append(f"{pad}<{label}/>")
+        return
+    lines.append(f"{pad}<{label}>")
+    for child in node.children:
+        _render_body_axiom(child, depth + 1, lines)
+    lines.append(f"{pad}</{label}>")

@@ -1,0 +1,58 @@
+"""Tests for DTTA construction helpers."""
+
+import pytest
+
+from repro.automata.build import local_dtta_from_trees, universal_dtta
+from repro.errors import AutomatonError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import parse_term
+
+
+class TestUniversal:
+    def test_accepts_everything(self):
+        alphabet = RankedAlphabet({"f": 2, "a": 0})
+        automaton = universal_dtta(alphabet)
+        assert automaton.accepts(parse_term("f(f(a, a), a)"))
+        assert automaton.accepts(parse_term("a"))
+
+    def test_one_state(self):
+        alphabet = RankedAlphabet({"f": 2, "a": 0})
+        assert len(universal_dtta(alphabet).states) == 1
+
+
+class TestLocalInference:
+    def test_empty_input_rejected(self):
+        with pytest.raises(AutomatonError):
+            local_dtta_from_trees([])
+
+    def test_accepts_examples(self):
+        examples = [
+            parse_term("root(a(#, #), b(#, #))"),
+            parse_term("root(#, #)"),
+        ]
+        automaton = local_dtta_from_trees(examples)
+        for example in examples:
+            assert automaton.accepts(example)
+
+    def test_generalizes_locally(self):
+        examples = [
+            parse_term("root(a(#, a(#, #)), #)"),
+            parse_term("root(#, #)"),
+        ]
+        automaton = local_dtta_from_trees(examples)
+        # a-lists of any length are in the local closure.
+        assert automaton.accepts(parse_term("root(a(#, a(#, a(#, #))), #)"))
+
+    def test_rejects_labels_in_wrong_context(self):
+        examples = [parse_term("root(a(#, #), b(#, #))")]
+        automaton = local_dtta_from_trees(examples)
+        assert not automaton.accepts(parse_term("root(b(#, #), a(#, #))"))
+
+    def test_recovers_flip_domain(self):
+        """On fc/ns list languages the local inference is exact."""
+        from repro.automata.ops import equivalent
+        from repro.workloads.flip import flip_domain, flip_input
+
+        examples = [flip_input(n, m) for n in range(3) for m in range(3)]
+        inferred = local_dtta_from_trees(examples)
+        assert equivalent(inferred, flip_domain())

@@ -1,0 +1,80 @@
+"""Tests for the DTTA class."""
+
+import pytest
+
+from repro.automata.dtta import DTTA
+from repro.errors import AutomatonError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import parse_term
+from repro.workloads.flip import flip_domain
+
+
+ALPHABET = RankedAlphabet({"f": 2, "a": 0, "b": 0, "c": 0})
+
+
+def identity_on_fcab():
+    """D = {f(c, a), f(c, b)} from Example 6."""
+    return DTTA(
+        ALPHABET,
+        "top",
+        {
+            ("top", "f"): ("first", "second"),
+            ("first", "c"): (),
+            ("second", "a"): (),
+            ("second", "b"): (),
+        },
+    )
+
+
+class TestConstruction:
+    def test_states_collected(self):
+        automaton = identity_on_fcab()
+        assert automaton.states == {"top", "first", "second"}
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(AutomatonError):
+            DTTA(ALPHABET, "q", {("q", "f"): ("q",)})
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AutomatonError):
+            DTTA(ALPHABET, "q", {("q", "z"): ()})
+
+
+class TestAcceptance:
+    def test_members(self):
+        automaton = identity_on_fcab()
+        assert automaton.accepts(parse_term("f(c, a)"))
+        assert automaton.accepts(parse_term("f(c, b)"))
+
+    def test_non_members(self):
+        automaton = identity_on_fcab()
+        assert not automaton.accepts(parse_term("f(a, a)"))
+        assert not automaton.accepts(parse_term("c"))
+        assert not automaton.accepts(parse_term("f(c, c)"))
+
+    def test_flip_domain(self):
+        domain = flip_domain()
+        assert domain.accepts(parse_term("root(a(#, a(#, #)), b(#, #))"))
+        assert not domain.accepts(parse_term("root(b(#, #), a(#, #))"))
+
+
+class TestNavigation:
+    def test_state_at_path(self):
+        automaton = identity_on_fcab()
+        assert automaton.state_at_path(()) == "top"
+        assert automaton.state_at_path((("f", 2),)) == "second"
+        assert automaton.state_at_path((("a", 1),)) is None
+
+    def test_allowed_symbols_sorted(self):
+        automaton = identity_on_fcab()
+        assert automaton.allowed_symbols("second") == ("a", "b")
+
+    def test_step(self):
+        automaton = identity_on_fcab()
+        assert automaton.step("top", "f") == ("first", "second")
+        assert automaton.step("top", "a") is None
+
+    def test_rename(self):
+        automaton = identity_on_fcab().rename({"top": 0, "first": 1, "second": 2})
+        assert automaton.initial == 0
+        assert automaton.step(0, "f") == (1, 2)

@@ -1,0 +1,161 @@
+"""Tests for DTTA operations: trim, minimize, product, witnesses."""
+
+from repro.automata.dtta import DTTA
+from repro.automata.ops import (
+    canonical_form,
+    enumerate_language,
+    equivalent,
+    minimal_witness_trees,
+    minimize,
+    nonempty_states,
+    product,
+    trim,
+)
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import parse_term
+from repro.workloads.flip import flip_domain
+
+
+ALPHABET = RankedAlphabet({"f": 2, "g": 1, "a": 0, "b": 0})
+
+
+class TestEmptiness:
+    def test_nonempty_fixpoint(self):
+        automaton = DTTA(
+            ALPHABET,
+            "q0",
+            {
+                ("q0", "f"): ("q1", "dead"),
+                ("q1", "a"): (),
+                ("dead", "g"): ("dead",),  # no terminating rule: empty
+            },
+        )
+        alive = nonempty_states(automaton)
+        assert "q1" in alive
+        assert "dead" not in alive
+        assert "q0" not in alive  # f needs the dead child
+
+    def test_trim_empty_language(self):
+        automaton = DTTA(ALPHABET, "q", {("q", "g"): ("q",)})
+        trimmed = trim(automaton)
+        assert not trimmed.transitions
+
+
+class TestTrim:
+    def test_unreachable_removed(self):
+        automaton = DTTA(
+            ALPHABET,
+            "q0",
+            {
+                ("q0", "a"): (),
+                ("island", "b"): (),
+            },
+        )
+        trimmed = trim(automaton)
+        assert ("island", "b") not in trimmed.transitions
+
+    def test_language_preserved(self):
+        domain = flip_domain()
+        trimmed = trim(domain)
+        tree = parse_term("root(a(#, #), #)")
+        assert domain.accepts(tree) == trimmed.accepts(tree)
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # q1 and q2 both accept exactly {a}.
+        automaton = DTTA(
+            ALPHABET,
+            "q0",
+            {
+                ("q0", "f"): ("q1", "q2"),
+                ("q1", "a"): (),
+                ("q2", "a"): (),
+            },
+        )
+        assert len(minimize(automaton).states) == 2
+
+    def test_keeps_distinct_states(self):
+        automaton = DTTA(
+            ALPHABET,
+            "q0",
+            {
+                ("q0", "f"): ("q1", "q2"),
+                ("q1", "a"): (),
+                ("q2", "b"): (),
+            },
+        )
+        assert len(minimize(automaton).states) == 3
+
+    def test_canonical_form_deterministic(self):
+        domain = flip_domain()
+        c1 = canonical_form(domain)
+        c2 = canonical_form(domain.rename({"r": "zzz"}))
+        assert c1.initial == c2.initial
+        assert c1.transitions == c2.transitions
+
+
+class TestEquivalence:
+    def test_same_language_different_shape(self):
+        a1 = DTTA(ALPHABET, "p", {("p", "a"): ()})
+        a2 = DTTA(
+            ALPHABET,
+            "q",
+            {("q", "a"): (), ("junk", "b"): ()},
+        )
+        assert equivalent(a1, a2)
+
+    def test_different_languages(self):
+        a1 = DTTA(ALPHABET, "p", {("p", "a"): ()})
+        a2 = DTTA(ALPHABET, "p", {("p", "b"): ()})
+        assert not equivalent(a1, a2)
+
+
+class TestProduct:
+    def test_intersection(self):
+        ab = DTTA(ALPHABET, "p", {("p", "a"): (), ("p", "b"): ()})
+        a_only = DTTA(ALPHABET, "q", {("q", "a"): ()})
+        inter = product(ab, a_only)
+        assert inter.accepts(parse_term("a"))
+        assert not inter.accepts(parse_term("b"))
+
+    def test_with_flip_domain(self):
+        domain = flip_domain()
+        universal = DTTA(
+            domain.alphabet,
+            "*",
+            {
+                ("*", s): ("*",) * r
+                for s, r in domain.alphabet.items()
+            },
+        )
+        inter = product(domain, universal)
+        assert equivalent(inter, domain)
+
+
+class TestWitnesses:
+    def test_minimal_witnesses(self):
+        domain = flip_domain()
+        witnesses = minimal_witness_trees(domain)
+        assert witnesses["e"] == parse_term("#")
+        assert witnesses["la"] == parse_term("#")
+        assert witnesses["r"] == parse_term("root(#, #)")
+
+    def test_witnesses_accepted(self):
+        domain = flip_domain()
+        for state, tree in minimal_witness_trees(domain).items():
+            assert domain.accepts_from(state, tree)
+
+
+class TestEnumerate:
+    def test_enumerates_in_size_order(self):
+        domain = flip_domain()
+        trees = list(enumerate_language(domain, limit=5))
+        assert trees[0] == parse_term("root(#, #)")
+        sizes = [t.size for t in trees]
+        assert sizes == sorted(sizes)
+        assert all(domain.accepts(t) for t in trees)
+
+    def test_finite_language_stops(self):
+        automaton = DTTA(ALPHABET, "p", {("p", "a"): ()})
+        assert list(enumerate_language(automaton, limit=10)) == [parse_term("a")]

@@ -1,0 +1,73 @@
+"""Property-based tests for DTTA operations."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.ops import canonical_form, minimize, product, trim
+from repro.trees.generate import random_tree
+from repro.workloads.flip import flip_domain
+
+from tests.conftest import BINARY_ALPHABET, trees_over
+
+
+def random_dtta(num_states: int, seed: int):
+    """A random DTTA over the shared binary test alphabet."""
+    rng = random.Random(seed)
+    states = [f"d{i}" for i in range(num_states)]
+    transitions = {}
+    for state in states:
+        for symbol, rank in BINARY_ALPHABET.items():
+            if rng.random() < 0.7:
+                transitions[(state, symbol)] = tuple(
+                    rng.choice(states) for _ in range(rank)
+                )
+    return type(flip_domain())(BINARY_ALPHABET, states[0], transitions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=5000),
+    tree=trees_over(BINARY_ALPHABET),
+)
+def test_minimize_preserves_membership(num_states, seed, tree):
+    automaton = random_dtta(num_states, seed)
+    assert automaton.accepts(tree) == minimize(automaton).accepts(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=5000),
+    tree=trees_over(BINARY_ALPHABET),
+)
+def test_trim_preserves_membership(num_states, seed, tree):
+    automaton = random_dtta(num_states, seed)
+    assert automaton.accepts(tree) == trim(automaton).accepts(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed_a=st.integers(min_value=0, max_value=2000),
+    seed_b=st.integers(min_value=0, max_value=2000),
+    tree=trees_over(BINARY_ALPHABET),
+)
+def test_product_is_intersection(seed_a, seed_b, tree):
+    left = random_dtta(3, seed_a)
+    right = random_dtta(3, seed_b)
+    both = product(left, right)
+    assert both.accepts(tree) == (left.accepts(tree) and right.accepts(tree))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_canonical_form_idempotent(num_states, seed):
+    automaton = random_dtta(num_states, seed)
+    once = canonical_form(automaton)
+    twice = canonical_form(once)
+    assert once.initial == twice.initial
+    assert once.transitions == twice.transitions

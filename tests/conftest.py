@@ -1,0 +1,47 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree
+
+
+BINARY_ALPHABET = RankedAlphabet({"f": 2, "g": 1, "a": 0, "b": 0})
+
+
+def trees_over(alphabet: RankedAlphabet, max_depth: int = 4):
+    """A hypothesis strategy producing trees over a ranked alphabet."""
+    constants = alphabet.constants
+    internals = [(s, r) for s, r in alphabet.items() if r > 0]
+
+    def extend(children_strategy):
+        def build(symbol_rank):
+            symbol, rank = symbol_rank
+            return st.tuples(*([children_strategy] * rank)).map(
+                lambda kids: Tree(symbol, kids)
+            )
+
+        leaves = st.sampled_from(constants).map(lambda s: Tree(s, ()))
+        if not internals:
+            return leaves
+        return st.one_of(leaves, st.sampled_from(internals).flatmap(build))
+
+    strategy = st.sampled_from(constants).map(lambda s: Tree(s, ()))
+    for _ in range(max_depth):
+        strategy = extend(strategy)
+    return strategy
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260612)
+
+
+@pytest.fixture
+def binary_alphabet():
+    return BINARY_ALPHABET

@@ -1,0 +1,87 @@
+"""Cross-subsystem integration: pieces composed in ways the paper implies.
+
+These tests wire together subsystems that the unit tests exercise in
+isolation: inferred domains + learning, active learning over DTD-encoded
+domains, serialization of learned artifacts, and composition of learned
+machines.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.build import local_dtta_from_trees
+from repro.learning.active import learn_actively
+from repro.learning.rpni import rpni_dtop
+from repro.learning.sample import Sample
+from repro.transducers.compose import compose
+from repro.transducers.minimize import canonicalize, equivalent_on
+from repro.workloads.flip import (
+    flip_domain,
+    flip_input,
+    flip_output,
+    flip_paper_sample,
+    flip_transducer,
+)
+
+
+class TestInferredDomain:
+    """The paper assumes the domain is given; the local inference helper
+    recovers it from positive examples for local languages like flip's."""
+
+    def test_flip_with_inferred_domain(self):
+        examples = flip_paper_sample()
+        extra_inputs = [flip_input(n, m) for n in range(3) for m in range(3)]
+        domain = local_dtta_from_trees(
+            [source for source, _ in examples] + extra_inputs
+        )
+        learned = rpni_dtop(Sample(examples), domain)
+        target = canonicalize(flip_transducer(), flip_domain())
+        assert canonicalize(learned.dtop, flip_domain()).same_translation(target)
+
+
+class TestActiveOverEncodedDomain:
+    def test_xmlflip_actively(self):
+        """Active learning against an oracle over the DTD-encoded domain."""
+        from repro.workloads.xmlflip import xmlflip_input_dtd, xmlflip_transducer
+        from repro.xml.encode import DTDEncoder
+        from repro.xml.schema import schema_dtta
+
+        encoder = DTDEncoder(xmlflip_input_dtd(), compact_lists=True)
+        domain = schema_dtta(encoder)
+        target = xmlflip_transducer()
+        result = learn_actively(
+            target.try_apply, domain, rng=random.Random(4)
+        )
+        canonical = canonicalize(target, domain)
+        assert canonicalize(result.learned.dtop, domain).same_translation(
+            canonical
+        )
+
+
+class TestSerializeLearned:
+    def test_learn_serialize_apply(self, tmp_path):
+        from repro.serialize import dumps, loads
+
+        learned = rpni_dtop(Sample(flip_paper_sample()), flip_domain())
+        path = tmp_path / "machine.json"
+        path.write_text(dumps(learned.dtop))
+        again = loads(path.read_text())
+        for n, m in [(0, 0), (3, 2)]:
+            assert again.apply(flip_input(n, m)) == flip_output(n, m)
+
+
+class TestComposeLearned:
+    def test_compose_two_learned_machines(self):
+        """Learn flip and its inverse separately, compose, get identity."""
+        from tests.transducers.test_compose import identity_dtop
+
+        flip_learned = rpni_dtop(Sample(flip_paper_sample()), flip_domain()).dtop
+        # The inverse translation: pairs (flip(s), s).
+        sources = [flip_input(n, m) for n in range(3) for m in range(3)]
+        back_pairs = [(flip_learned.apply(source), source) for source in sources]
+        flipped_domain = local_dtta_from_trees([s for s, _ in back_pairs])
+        back_learned = rpni_dtop(Sample(back_pairs), flipped_domain).dtop
+        round_trip = compose(flip_learned, back_learned)
+        identity = identity_dtop(flip_learned.input_alphabet)
+        assert equivalent_on(round_trip, identity, flip_domain())

@@ -1,0 +1,89 @@
+"""Tests for the interactive (Angluin-style) learner."""
+
+import random
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.active import learn_actively
+from repro.transducers.minimize import canonicalize
+from repro.workloads.families import cycle_relabel, rotate_lists
+from repro.workloads.flip import flip_domain, flip_input, flip_output, flip_transducer
+
+
+class TestActiveFlip:
+    def test_learns_flip_without_initial_examples(self):
+        target = flip_transducer()
+        result = learn_actively(
+            target.try_apply, flip_domain(), rng=random.Random(1)
+        )
+        canonical = canonicalize(target, flip_domain())
+        assert canonicalize(
+            result.learned.dtop, flip_domain()
+        ).same_translation(canonical)
+        assert result.membership_queries > 0
+
+    def test_generalizes(self):
+        target = flip_transducer()
+        result = learn_actively(
+            target.try_apply, flip_domain(), rng=random.Random(2)
+        )
+        for n, m in [(4, 2), (0, 5)]:
+            assert result.learned.dtop.apply(flip_input(n, m)) == flip_output(n, m)
+
+    def test_initial_examples_reduce_queries(self):
+        target = flip_transducer()
+        from repro.workloads.flip import flip_paper_sample
+
+        with_seed = learn_actively(
+            target.try_apply,
+            flip_domain(),
+            initial_examples=flip_paper_sample(),
+            rng=random.Random(3),
+        )
+        without = learn_actively(
+            target.try_apply, flip_domain(), rng=random.Random(3)
+        )
+        assert with_seed.membership_queries <= without.membership_queries
+
+
+class TestActiveFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_cycle_relabel(self, n):
+        target, domain = cycle_relabel(n)
+        result = learn_actively(target.try_apply, domain, rng=random.Random(n))
+        canonical = canonicalize(target, domain)
+        assert canonicalize(result.learned.dtop, domain).same_translation(
+            canonical
+        )
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_rotate_lists(self, k):
+        target, domain = rotate_lists(k)
+        result = learn_actively(target.try_apply, domain, rng=random.Random(k))
+        canonical = canonicalize(target, domain)
+        assert canonicalize(result.learned.dtop, domain).same_translation(
+            canonical
+        )
+
+
+class TestActiveRandomTargets:
+    @pytest.mark.parametrize("seed", [7, 23, 99])
+    def test_random_total_targets(self, seed):
+        from repro.workloads.families import random_total_dtop
+
+        target, domain = random_total_dtop(2, seed)
+        result = learn_actively(
+            target.try_apply, domain, rng=random.Random(seed)
+        )
+        canonical = canonicalize(target, domain)
+        assert canonicalize(result.learned.dtop, domain).same_translation(
+            canonical
+        )
+
+
+class TestFailureModes:
+    def test_refusing_oracle(self):
+        domain = flip_domain()
+        with pytest.raises(LearningError):
+            learn_actively(lambda _tree: None, domain, max_rounds=3)

@@ -1,0 +1,55 @@
+"""Tests for state- and transition-io-paths (Definition 29)."""
+
+import pytest
+
+from repro.learning.iopaths import state_io_paths, trans_io_paths
+from repro.transducers.minimize import canonicalize
+from repro.trees.paths import pair_order_key
+from repro.workloads.flip import flip_domain, flip_transducer
+
+
+@pytest.fixture(scope="module")
+def flip_canonical():
+    return canonicalize(flip_transducer(), flip_domain())
+
+
+class TestStateIoPaths:
+    def test_flip_has_the_four_paper_paths(self, flip_canonical):
+        """The Introduction lists the 4 shortest representatives."""
+        paths = set(state_io_paths(flip_canonical).values())
+        assert paths == {
+            ((), (("root", 1),)),
+            ((), (("root", 2),)),
+            ((("root", 2),), (("root", 1),)),
+            ((("root", 1),), (("root", 2),)),
+        }
+
+    def test_every_state_has_a_path(self, flip_canonical):
+        paths = state_io_paths(flip_canonical)
+        assert set(paths) == set(flip_canonical.dtop.states)
+
+    def test_paths_are_minimal(self, flip_canonical):
+        """No transition extension of a state path is smaller."""
+        paths = state_io_paths(flip_canonical)
+        for pair, target in trans_io_paths(flip_canonical, paths):
+            assert pair_order_key(paths[target]) <= pair_order_key(pair)
+
+
+class TestTransIoPaths:
+    def test_includes_axiom_paths(self, flip_canonical):
+        pairs = [p for p, _ in trans_io_paths(flip_canonical)]
+        assert ((), (("root", 1),)) in pairs
+        assert ((), (("root", 2),)) in pairs
+
+    def test_one_per_call_occurrence(self, flip_canonical):
+        borders = trans_io_paths(flip_canonical)
+        # flip: 2 axiom calls + 4 rule calls (q0/root, q1/root, q2/b, q3/a).
+        assert len(borders) == 6
+
+    def test_example7_border_states(self, flip_canonical):
+        """p5 and p6 of Example 7 appear as trans-io-paths."""
+        pairs = [p for p, _ in trans_io_paths(flip_canonical)]
+        p5 = ((("root", 1), ("a", 2)), (("root", 2), ("a", 2)))
+        p6 = ((("root", 2), ("b", 2)), (("root", 1), ("b", 2)))
+        assert p5 in pairs
+        assert p6 in pairs

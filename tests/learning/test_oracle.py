@@ -1,0 +1,37 @@
+"""Tests for the oracle helpers and Gold-style round trips."""
+
+import pytest
+
+from repro.learning.oracle import learn_from_transducer, sample_of_transducer
+from repro.workloads.flip import flip_domain, flip_input, flip_output, flip_transducer
+
+
+class TestRoundTrip:
+    def test_flip(self):
+        learned = learn_from_transducer(flip_transducer(), flip_domain())
+        assert learned.num_states == 4
+        for n, m in [(0, 0), (3, 2)]:
+            assert learned.dtop.apply(flip_input(n, m)) == flip_output(n, m)
+
+    def test_extra_examples_tolerated(self):
+        extras = [(flip_input(5, 5), flip_output(5, 5))]
+        learned = learn_from_transducer(
+            flip_transducer(), flip_domain(), extra_examples=extras
+        )
+        assert learned.num_states == 4
+
+    def test_sample_of_transducer(self):
+        sample, canonical = sample_of_transducer(flip_transducer(), flip_domain())
+        assert len(sample) > 0
+        assert canonical.num_states == 4
+        for source, target in sample:
+            assert flip_transducer().apply(source) == target
+
+
+class TestVerification:
+    def test_verify_flag(self):
+        # verify=True is the default and should pass for a correct target.
+        learned = learn_from_transducer(
+            flip_transducer(), flip_domain(), verify=True
+        )
+        assert learned is not None

@@ -1,0 +1,78 @@
+"""Property-based tests: the Gold round trip on random DTOPs.
+
+For random total transducers, the pipeline
+
+    target → canonicalize → characteristic sample → RPNI_dtop → canonicalize
+
+must close: the learned transducer denotes the same translation, agrees
+with the target on random inputs, and has the same canonical state count.
+This is Theorem 38 exercised far beyond the paper's worked examples.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.learning.charset import characteristic_sample
+from repro.learning.rpni import rpni_dtop
+from repro.transducers.minimize import canonicalize
+from repro.trees.generate import random_tree
+from repro.workloads.families import random_total_dtop
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_gold_round_trip_on_random_dtops(num_states, seed):
+    target, domain = random_total_dtop(num_states, seed)
+    canonical = canonicalize(target, domain)
+    sample = characteristic_sample(canonical)
+    learned = rpni_dtop(sample, canonical.domain)
+    relearned = canonicalize(learned.dtop, canonical.domain)
+    assert relearned.same_translation(canonical)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+    input_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_learned_agrees_on_random_inputs(num_states, seed, input_seed):
+    target, domain = random_total_dtop(num_states, seed)
+    canonical = canonicalize(target, domain)
+    sample = characteristic_sample(canonical)
+    learned = rpni_dtop(sample, canonical.domain)
+    rng = random.Random(input_seed)
+    for _ in range(5):
+        source = random_tree(target.input_alphabet, 5, rng)
+        assert learned.dtop.apply(source) == target.apply(source)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_learned_state_count_is_canonical(num_states, seed):
+    target, domain = random_total_dtop(num_states, seed)
+    canonical = canonicalize(target, domain)
+    sample = characteristic_sample(canonical)
+    learned = rpni_dtop(sample, canonical.domain)
+    assert learned.num_states == canonical.num_states
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_states=st.integers(min_value=1, max_value=2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_canonicalization_idempotent(num_states, seed):
+    target, domain = random_total_dtop(num_states, seed)
+    canonical = canonicalize(target, domain)
+    again = canonicalize(canonical.dtop, canonical.domain)
+    assert again.same_translation(canonical)
+    assert again.num_states == canonical.num_states

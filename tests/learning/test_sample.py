@@ -1,0 +1,118 @@
+"""Tests for the Sample data structure and its semantic operations."""
+
+import pytest
+
+from repro.errors import InconsistentSampleError
+from repro.learning.sample import Sample
+from repro.trees.lcp import BOTTOM_SYMBOL, is_bottom
+from repro.trees.tree import Tree, parse_term
+from repro.workloads.flip import flip_paper_sample
+
+
+@pytest.fixture
+def flip_sample():
+    return Sample(flip_paper_sample())
+
+
+class TestConstruction:
+    def test_functional_check(self):
+        with pytest.raises(InconsistentSampleError):
+            Sample(
+                [
+                    (parse_term("a"), parse_term("a")),
+                    (parse_term("a"), parse_term("b")),
+                ]
+            )
+
+    def test_duplicates_collapse(self):
+        sample = Sample(
+            [
+                (parse_term("a"), parse_term("b")),
+                (parse_term("a"), parse_term("b")),
+            ]
+        )
+        assert len(sample) == 1
+
+    def test_output_of(self, flip_sample):
+        source = parse_term("root(#, #)")
+        assert flip_sample.output_of(source) == parse_term("root(#, #)")
+        assert flip_sample.output_of(parse_term("#")) is None
+
+    def test_merged_with(self, flip_sample):
+        merged = flip_sample.merged_with(
+            [(parse_term("root(#, b(#, #))"), parse_term("root(b(#, #), #)"))]
+        )
+        assert len(merged) == len(flip_sample)
+
+    def test_total_nodes(self, flip_sample):
+        assert flip_sample.total_nodes == sum(
+            s.size + t.size for s, t in flip_paper_sample()
+        )
+
+
+class TestOut:
+    def test_out_epsilon(self, flip_sample):
+        """out_S(ε) = root(⊥, ⊥) for the flip sample."""
+        out = flip_sample.out(())
+        assert out.label == "root"
+        assert out.children[0].label is BOTTOM_SYMBOL
+        assert out.children[1].label is BOTTOM_SYMBOL
+
+    def test_out_no_tree_contains_path(self, flip_sample):
+        assert flip_sample.out((("zzz", 1),)) is None
+
+    def test_out_deeper(self, flip_sample):
+        """Trees with u = (root,1)·a all output a(#, ⊥) at (root,2)."""
+        out = flip_sample.out((("root", 1), ("a", 2)))
+        assert out is not None
+
+    def test_out_npath(self, flip_sample):
+        out = flip_sample.out_npath((), "root")
+        assert out == flip_sample.out(())
+        assert flip_sample.out_npath((("root", 1),), "a") is not None
+        assert flip_sample.out_npath((("root", 1),), "b") is None
+
+
+class TestResidual:
+    def test_residual_of_root_pair(self, flip_sample):
+        """Example 7: ((root,1),(root,1))⁻¹S is not functional."""
+        residual = flip_sample.residual(((("root", 1),), (("root", 1),)))
+        inputs = [s for s, _ in residual]
+        assert parse_term("#") in inputs
+        assert not flip_sample.residual_functional(
+            ((("root", 1),), (("root", 1),))
+        )
+
+    def test_correct_alignment_functional(self, flip_sample):
+        """((root,2),(root,1))⁻¹S is functional (reaches q3)."""
+        assert flip_sample.residual_functional(
+            ((("root", 2),), (("root", 1),))
+        )
+
+    def test_residual_map(self, flip_sample):
+        mapping = flip_sample.residual_map(((("root", 2),), (("root", 1),)))
+        assert mapping is not None
+        assert mapping[parse_term("#")] == parse_term("#")
+        assert mapping[parse_term("b(#, #)")] == parse_term("b(#, #)")
+
+    def test_residual_excludes_missing_v(self):
+        sample = Sample([(parse_term("f(a, a)"), parse_term("b"))])
+        residual = sample.residual(((("f", 1),), (("g", 1),)))
+        assert residual == ()
+
+
+class TestIoPaths:
+    def test_axiom_io_paths(self, flip_sample):
+        assert flip_sample.is_io_path(((), (("root", 1),)))
+        assert flip_sample.is_io_path(((), (("root", 2),)))
+
+    def test_non_bottom_position_rejected(self, flip_sample):
+        assert not flip_sample.is_io_path(((), ()))
+
+    def test_wrong_alignment_rejected(self, flip_sample):
+        assert not flip_sample.is_io_path(((("root", 1),), (("root", 1),)))
+
+    def test_paper_io_paths(self, flip_sample):
+        """The 4 io-path representatives listed in the Introduction."""
+        assert flip_sample.is_io_path(((("root", 2),), (("root", 1),)))
+        assert flip_sample.is_io_path(((("root", 1),), (("root", 2),)))

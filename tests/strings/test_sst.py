@@ -1,0 +1,99 @@
+"""Tests for sequential string transducers and their inference (E9)."""
+
+import pytest
+
+from repro.errors import TransducerError
+from repro.strings.sst import (
+    SequentialStringTransducer,
+    learn_string_transducer,
+    sst_from_dtop,
+)
+from repro.strings.words import word_to_tree, words_dtta
+from repro.workloads.families import cycle_relabel
+
+
+def rot13ish_examples():
+    """Swap a↔b letterwise (a sequential relabeling)."""
+    def swap(word):
+        return word.translate(str.maketrans("ab", "ba"))
+
+    words = ["", "a", "b", "aa", "ab", "ba", "bb", "aba"]
+    return [(w, swap(w)) for w in words]
+
+
+class TestLearning:
+    def test_letter_swap(self):
+        sst, learned = learn_string_transducer(rot13ish_examples(), letters="ab")
+        assert sst.apply("abba") == "baab"
+        assert sst.apply("") == ""
+
+    def test_suffix_appender(self):
+        """f(w) = w · "!", requires a final output function."""
+        examples = [(w, w + "!") for w in ["", "a", "b", "aa", "ab", "ba", "bb"]]
+        sst, _ = learn_string_transducer(examples, letters="ab")
+        assert sst.apply("abab") == "abab!"
+
+    def test_delayed_output(self):
+        """f(w) shifts letters: output depends on the *next* letter —
+        the classic case needing non-trivial transition outputs."""
+        def duplicate(word):
+            return "".join(ch + ch for ch in word)
+
+        examples = [(w, duplicate(w)) for w in ["", "a", "b", "ab", "ba", "aa", "bb"]]
+        sst, _ = learn_string_transducer(examples, letters="ab")
+        assert sst.apply("aab") == "aaaabb"
+
+    def test_minimal_state_count(self):
+        """The parity relabeler needs exactly 2 states."""
+        def alternate(word):
+            return "".join(
+                ("x" if i % 2 == 0 else "y") for i, _ in enumerate(word)
+            )
+
+        words = ["", "a", "aa", "aaa", "aaaa"]
+        examples = [(w, alternate(w)) for w in words]
+        sst, learned = learn_string_transducer(examples, letters="a")
+        assert len(sst.states) == 2
+        assert sst.apply("aaaaa") == "xyxyx"
+
+
+class TestFromDtop:
+    def test_cycle_relabel_viewed_as_sst(self):
+        target, _ = cycle_relabel(2)
+        sst = sst_from_dtop(target, end_label="e")
+        assert sst.apply("aaa") == "c0c1c0"
+
+    def test_non_monadic_rejected(self):
+        from repro.workloads.flip import flip_transducer
+
+        with pytest.raises(TransducerError):
+            sst_from_dtop(flip_transducer())
+
+    def test_deleting_rejected(self):
+        from repro.trees.alphabet import RankedAlphabet
+        from repro.transducers.dtop import DTOP
+        from repro.transducers.rhs import call, rhs_tree
+
+        alphabet = RankedAlphabet({"a": 1, "⊣": 0})
+        deleting = DTOP(
+            alphabet,
+            alphabet,
+            call("q", 0),
+            {
+                ("q", "a"): rhs_tree("⊣"),  # drops the rest of the word
+                ("q", "⊣"): rhs_tree("⊣"),
+            },
+        )
+        with pytest.raises(TransducerError):
+            sst_from_dtop(deleting)
+
+
+class TestApply:
+    def test_off_domain_letter(self):
+        sst, _ = learn_string_transducer(rot13ish_examples(), letters="ab")
+        with pytest.raises(TransducerError):
+            sst.apply("abc")
+
+    def test_describe(self):
+        sst, _ = learn_string_transducer(rot13ish_examples(), letters="ab")
+        assert "prefix" in sst.describe()

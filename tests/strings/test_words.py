@@ -1,0 +1,51 @@
+"""Tests for the word ↔ monadic-tree adapters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TreeError
+from repro.strings.words import (
+    END_LABEL,
+    tree_to_word,
+    word_alphabet,
+    word_to_tree,
+    words_dtta,
+)
+from repro.trees.tree import parse_term
+
+
+class TestConversion:
+    def test_word_to_tree(self):
+        assert str(word_to_tree("ab")) == f"a(b({END_LABEL}))"
+
+    def test_empty_word(self):
+        assert word_to_tree("").label == END_LABEL
+
+    def test_roundtrip_explicit(self):
+        for word in ["", "a", "abc", "aabba"]:
+            assert tree_to_word(word_to_tree(word)) == word
+
+    def test_non_monadic_rejected(self):
+        with pytest.raises(TreeError):
+            tree_to_word(parse_term("f(a, b)"))
+
+    @given(st.text(alphabet="abc", max_size=20))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, word):
+        assert tree_to_word(word_to_tree(word)) == word
+
+
+class TestAlphabetAndDomain:
+    def test_word_alphabet(self):
+        alphabet = word_alphabet("ab")
+        assert alphabet.rank("a") == 1
+        assert alphabet.rank(END_LABEL) == 0
+
+    def test_words_dtta_accepts_all_words(self):
+        domain = words_dtta("ab")
+        for word in ["", "a", "abab"]:
+            assert domain.accepts(word_to_tree(word))
+
+    def test_words_dtta_rejects_other_letters(self):
+        domain = words_dtta("ab")
+        assert not domain.accepts(word_to_tree("abc"))

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_transformation, main, save_transformation
+from repro.workloads.xmlflip import (
+    INPUT_DTD_TEXT,
+    OUTPUT_DTD_TEXT,
+    transform_xmlflip,
+    xmlflip_document,
+    xmlflip_examples,
+)
+from repro.xml.xmlio import parse_xml, serialize_xml
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A directory with DTDs and example document pairs for xmlflip."""
+    (tmp_path / "in.dtd").write_text(INPUT_DTD_TEXT)
+    (tmp_path / "out.dtd").write_text(OUTPUT_DTD_TEXT)
+    examples = tmp_path / "examples"
+    examples.mkdir()
+    for index, (source, target) in enumerate(xmlflip_examples()):
+        (examples / f"case{index}.in.xml").write_text(serialize_xml(source))
+        (examples / f"case{index}.out.xml").write_text(serialize_xml(target))
+    return tmp_path
+
+
+class TestLearnApply:
+    def test_learn_save_apply(self, workspace, capsys):
+        saved = workspace / "transform.json"
+        code = main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+                "--save", str(saved),
+                "--compact-lists",
+            ]
+        )
+        assert code == 0
+        assert saved.exists()
+        out = capsys.readouterr().out
+        assert "learned" in out
+
+        document = workspace / "doc.xml"
+        document.write_text(serialize_xml(xmlflip_document(3, 2)))
+        code = main(["apply", "--transform", str(saved), str(document)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert parse_xml(out) == transform_xmlflip(xmlflip_document(3, 2))
+
+    def test_apply_to_file(self, workspace, capsys):
+        saved = workspace / "transform.json"
+        main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+                "--save", str(saved),
+                "--compact-lists",
+            ]
+        )
+        capsys.readouterr()
+        document = workspace / "doc.xml"
+        document.write_text(serialize_xml(xmlflip_document(1, 1)))
+        output = workspace / "result.xml"
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                str(document),
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert parse_xml(output.read_text()) == transform_xmlflip(
+            xmlflip_document(1, 1)
+        )
+
+    def test_show(self, workspace, capsys):
+        saved = workspace / "transform.json"
+        main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+                "--save", str(saved),
+                "--compact-lists",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["show", "--transform", str(saved)]) == 0
+        assert "axiom" in capsys.readouterr().out
+        assert main(["show", "--transform", str(saved), "--as-xslt"]) == 0
+        assert "<xsl:stylesheet" in capsys.readouterr().out
+
+
+class TestBundleRoundTrip:
+    def test_save_load(self, workspace, tmp_path):
+        from repro.xml.dtd import parse_dtd
+        from repro.xml.pipeline import learn_xml_transformation
+
+        transformation = learn_xml_transformation(
+            parse_dtd(INPUT_DTD_TEXT),
+            parse_dtd(OUTPUT_DTD_TEXT),
+            xmlflip_examples(),
+            compact_lists=True,
+        )
+        path = tmp_path / "bundle.json"
+        save_transformation(transformation, path)
+        again = load_transformation(path)
+        doc = xmlflip_document(2, 3)
+        assert again.apply(doc) == transformation.apply(doc)
+
+    def test_bundle_format_checked(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "other"}))
+        assert main(["show", "--transform", str(bad)]) == 2
+
+
+class TestErrors:
+    def test_missing_examples_dir(self, workspace):
+        empty = workspace / "empty"
+        empty.mkdir()
+        code = main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(empty),
+            ]
+        )
+        assert code == 2
+
+    def test_unpaired_example(self, workspace):
+        (workspace / "examples" / "orphan.in.xml").write_text("<root/>")
+        code = main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy and structured learner errors."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_learning_errors(self):
+        assert issubclass(errors.InsufficientSampleError, errors.LearningError)
+        assert issubclass(errors.InconsistentSampleError, errors.LearningError)
+
+    def test_dtd_errors_are_parse_errors(self):
+        assert issubclass(errors.DTDError, errors.ParseError)
+        assert issubclass(errors.AmbiguousContentModelError, errors.DTDError)
+
+
+class TestStructuredInsufficiency:
+    def test_fields_default(self):
+        error = errors.InsufficientSampleError("message")
+        assert error.kind == "unknown"
+        assert error.u is None
+        assert error.candidates == ()
+
+    def test_fields_preserved(self):
+        error = errors.InsufficientSampleError(
+            "msg", kind="alignment", u=(("f", 1),), symbol="g", candidates=[1, 2]
+        )
+        assert error.kind == "alignment"
+        assert error.symbol == "g"
+        assert error.candidates == (1, 2)
+        assert str(error) == "msg"
+
+    def test_catchable_as_learning_error(self):
+        with pytest.raises(errors.LearningError):
+            raise errors.InsufficientSampleError("x", kind="missing-path")

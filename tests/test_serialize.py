@@ -1,0 +1,96 @@
+"""Tests for JSON serialization of the core objects."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ParseError
+from repro.learning.sample import Sample
+from repro.serialize import (
+    dtop_from_data,
+    dtop_to_data,
+    dtta_from_data,
+    dtta_to_data,
+    dumps,
+    loads,
+    tree_from_data,
+    tree_to_data,
+)
+from repro.trees.tree import parse_term
+from repro.workloads.flip import flip_domain, flip_input, flip_paper_sample, flip_transducer
+
+from tests.conftest import BINARY_ALPHABET, trees_over
+
+
+class TestTreeRoundTrip:
+    def test_explicit(self):
+        tree = parse_term("root(a(#, a(#, #)), b(#, #))")
+        assert tree_from_data(tree_to_data(tree)) == tree
+
+    @given(trees_over(BINARY_ALPHABET))
+    @settings(max_examples=60)
+    def test_property(self, tree):
+        assert tree_from_data(tree_to_data(tree)) == tree
+
+    def test_string_front_end(self):
+        tree = parse_term("f(a, b)")
+        assert loads(dumps(tree)) == tree
+
+    def test_bad_data(self):
+        with pytest.raises(ParseError):
+            tree_from_data(12)
+        with pytest.raises(ParseError):
+            tree_from_data({"weird": 1})
+
+
+class TestDttaRoundTrip:
+    def test_flip_domain(self):
+        domain = flip_domain()
+        again = dtta_from_data(dtta_to_data(domain))
+        assert again.initial == domain.initial
+        assert again.transitions == domain.transitions
+        assert again.accepts(flip_input(2, 1))
+
+    def test_string_front_end(self):
+        domain = flip_domain()
+        again = loads(dumps(domain))
+        from repro.automata.ops import equivalent
+
+        assert equivalent(again, domain)
+
+
+class TestDtopRoundTrip:
+    def test_flip(self):
+        transducer = flip_transducer()
+        again = dtop_from_data(dtop_to_data(transducer))
+        assert again.axiom == transducer.axiom
+        assert again.rules == transducer.rules
+        assert again.apply(flip_input(1, 2)) == transducer.apply(flip_input(1, 2))
+
+    def test_learned_machine_round_trips(self):
+        from repro.learning.rpni import rpni_dtop
+
+        learned = rpni_dtop(Sample(flip_paper_sample()), flip_domain())
+        again = loads(dumps(learned.dtop))
+        from repro.transducers.minimize import equivalent_on
+
+        assert equivalent_on(again, learned.dtop, flip_domain())
+
+    def test_tuple_states_survive(self):
+        """Composed transducers have tuple states."""
+        from repro.transducers.compose import compose
+        from tests.transducers.test_compose import TestComposeBasics
+
+        round_trip = compose(flip_transducer(), TestComposeBasics.flip_back())
+        again = loads(dumps(round_trip))
+        assert again.apply(flip_input(1, 1)) == flip_input(1, 1)
+
+
+class TestSampleRoundTrip:
+    def test_flip_sample(self):
+        sample = Sample(flip_paper_sample())
+        again = loads(dumps(sample))
+        assert list(again) == list(sample)
+
+    def test_unknown_format(self):
+        with pytest.raises(ParseError):
+            loads('{"format": "repro/nope@9"}')

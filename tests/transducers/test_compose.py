@@ -1,0 +1,133 @@
+"""Tests for DTOP composition."""
+
+import pytest
+
+from repro.errors import TransducerError
+from repro.transducers.compose import compose
+from repro.transducers.minimize import canonicalize, equivalent_on
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import Tree, parse_term
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import call, rhs_tree
+from repro.workloads.families import cycle_relabel
+from repro.workloads.flip import flip_domain, flip_input, flip_transducer
+
+
+def identity_dtop(alphabet: RankedAlphabet) -> DTOP:
+    rules = {
+        ("i", symbol): Tree(
+            symbol, tuple(call("i", k + 1) for k in range(rank))
+        )
+        for symbol, rank in alphabet.items()
+    }
+    return DTOP(alphabet, alphabet, call("i", 0), rules)
+
+
+class TestComposeBasics:
+    def test_identity_left_and_right(self):
+        flip = flip_transducer()
+        identity = identity_dtop(flip.input_alphabet)
+        left = compose(identity, flip)
+        right = compose(flip, identity)
+        for n, m in [(0, 0), (2, 1)]:
+            source = flip_input(n, m)
+            assert left.apply(source) == flip.apply(source)
+            assert right.apply(source) == flip.apply(source)
+
+    @staticmethod
+    def flip_back() -> DTOP:
+        """The mirror of M_flip: root(b-list, a-list) → root(a-list, b-list).
+
+        Needed because M_flip's range lies outside its own domain, so
+        ``flip ∘ flip`` is the *empty* function — an instructive fact in
+        itself (see ``test_flip_twice_is_empty``).
+        """
+        alphabet = flip_transducer().input_alphabet
+        axiom = Tree("root", (call("p1", 0), call("p2", 0)))
+        rules = {
+            ("p1", "root"): rhs_tree(("pA", 2)),
+            ("p2", "root"): rhs_tree(("pB", 1)),
+            ("pA", "#"): rhs_tree("#"),
+            ("pA", "a"): rhs_tree(("a", "#", ("pA", 2))),
+            ("pB", "#"): rhs_tree("#"),
+            ("pB", "b"): rhs_tree(("b", "#", ("pB", 2))),
+        }
+        return DTOP(alphabet, alphabet, axiom, rules)
+
+    def test_flip_then_back_is_identity_on_domain(self):
+        """flip-back ∘ flip = id — verified by the equivalence decision
+        procedure, not just by testing points."""
+        flip = flip_transducer()
+        round_trip = compose(flip, self.flip_back())
+        identity = identity_dtop(flip.input_alphabet)
+        assert equivalent_on(round_trip, identity, flip_domain())
+
+    def test_flip_twice_degenerates(self):
+        """flip's outputs swap the list kinds, leaving its own domain
+        except for the empty tree: flip ∘ flip is defined exactly on
+        root(#, #)."""
+        flip = flip_transducer()
+        twice = compose(flip, flip)
+        assert twice.try_apply(flip_input(0, 0)) == flip_input(0, 0)
+        for n, m in [(1, 0), (1, 1), (2, 1)]:
+            assert twice.try_apply(flip_input(n, m)) is None
+
+    def test_pointwise_semantics(self):
+        flip = flip_transducer()
+        round_trip = compose(flip, self.flip_back())
+        for n, m in [(0, 0), (1, 2), (3, 1)]:
+            source = flip_input(n, m)
+            assert round_trip.apply(source) == source
+
+    def test_relabel_chain(self):
+        """Composing two monadic relabelings composes the letter maps."""
+        first, domain = cycle_relabel(2)  # a^i ↦ c_{i mod 2} chain
+        # Second machine: c0 ↦ x, c1 ↦ y.
+        in_alpha = first.output_alphabet
+        out_alpha = RankedAlphabet({"x": 1, "y": 1, "e": 0})
+        second = DTOP(
+            in_alpha,
+            out_alpha,
+            call("q", 0),
+            {
+                ("q", "c0"): Tree("x", (call("q", 1),)),
+                ("q", "c1"): Tree("y", (call("q", 1),)),
+                ("q", "e"): rhs_tree("e"),
+            },
+        )
+        composed = compose(first, second)
+        source = parse_term("a(a(a(e)))")
+        assert composed.apply(source) == parse_term("x(y(x(e)))")
+
+
+class TestComposeEdgeCases:
+    def test_rank_conflict_rejected(self):
+        flip = flip_transducer()
+        bad = DTOP(
+            RankedAlphabet({"root": 1, "z": 0}),
+            RankedAlphabet({"z": 0}),
+            call("q", 0),
+            {("q", "root"): rhs_tree("z"), ("q", "z"): rhs_tree("z")},
+        )
+        with pytest.raises(TransducerError):
+            compose(flip, bad)
+
+    def test_composition_with_constant(self):
+        from repro.workloads.constants import constant_m2
+
+        flip = flip_transducer()
+        constant = constant_m2()
+        # flip outputs trees over {root,a,b,#}; constant_m2 reads {f,a};
+        # 'a' rank differs (2 vs 0) → rank conflict.
+        with pytest.raises(TransducerError):
+            compose(flip, constant)
+
+    def test_canonical_state_count_of_composition(self):
+        flip = flip_transducer()
+        round_trip = compose(flip, TestComposeBasics.flip_back())
+        canonical = canonicalize(round_trip, flip_domain())
+        # The canonical identity on root(a-list, b-list) is small; check
+        # it is correct and minimal-ish.
+        assert canonical.num_states <= 5
+        for n, m in [(0, 0), (2, 2)]:
+            assert canonical.dtop.apply(flip_input(n, m)) == flip_input(n, m)

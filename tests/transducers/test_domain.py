@@ -1,0 +1,76 @@
+"""Tests for the implicit domain automaton of a DTOP."""
+
+from repro.automata.ops import equivalent, minimize
+from repro.transducers.domain import domain_dtta, effective_domain
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import parse_term
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import call, rhs_tree
+from repro.workloads.flip import flip_domain, flip_input, flip_transducer
+
+
+class TestDomainDtta:
+    def test_flip_domain_recognized(self):
+        transducer = flip_transducer()
+        automaton = domain_dtta(transducer)
+        assert automaton.accepts(flip_input(2, 3))
+        assert not automaton.accepts(parse_term("root(b(#, #), a(#, #))"))
+
+    def test_domain_matches_defined_on(self):
+        transducer = flip_transducer()
+        automaton = domain_dtta(transducer)
+        for tree in [
+            flip_input(0, 0),
+            flip_input(1, 2),
+            parse_term("root(#, a(#, #))"),
+            parse_term("#"),
+            parse_term("root(root(#, #), #)"),
+        ]:
+            assert automaton.accepts(tree) == transducer.defined_on(tree)
+
+    def test_deletion_gives_universal_child(self):
+        """Deleted subtrees are unconstrained (the ∅ domain state)."""
+        alphabet = RankedAlphabet({"f": 2, "a": 0, "b": 0})
+        transducer = DTOP(
+            alphabet,
+            alphabet,
+            call("q", 0),
+            {
+                ("q", "f"): rhs_tree(("q", 2)),
+                ("q", "a"): rhs_tree("a"),
+                ("q", "b"): rhs_tree("b"),
+            },
+        )
+        automaton = domain_dtta(transducer)
+        # First subtree of f is deleted: anything goes there.
+        assert automaton.accepts(parse_term("f(f(a, a), b)"))
+        assert automaton.accepts(parse_term("f(b, b)"))
+
+
+class TestEffectiveDomain:
+    def test_intersection_with_inspection(self):
+        transducer = flip_transducer()
+        effective = effective_domain(transducer, flip_domain())
+        assert equivalent(effective, minimize(flip_domain()))
+
+    def test_no_inspection(self):
+        transducer = flip_transducer()
+        effective = effective_domain(transducer)
+        assert equivalent(effective, domain_dtta(transducer))
+
+    def test_inspection_smaller_than_domain(self):
+        """Restricting to a sub-language keeps only that sub-language."""
+        from repro.automata.dtta import DTTA
+
+        transducer = flip_transducer()
+        only_empty = DTTA(
+            transducer.input_alphabet,
+            "r",
+            {
+                ("r", "root"): ("e", "e"),
+                ("e", "#"): (),
+            },
+        )
+        effective = effective_domain(transducer, only_empty)
+        assert effective.accepts(flip_input(0, 0))
+        assert not effective.accepts(flip_input(1, 0))

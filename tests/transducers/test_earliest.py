@@ -1,0 +1,82 @@
+"""Tests for the earliest normal form (Section 3, Definition 8)."""
+
+from repro.trees.lcp import is_bottom
+from repro.trees.tree import parse_term
+from repro.transducers.earliest import out_table, to_earliest, is_earliest
+from repro.transducers.minimize import equivalent_on
+from repro.workloads.constants import constant_m1, constant_m2, constant_m3
+from repro.workloads.flip import flip_domain, flip_input, flip_transducer
+
+
+class TestOutTable:
+    def test_constant_state_has_full_out(self):
+        """out_[[M2]]q0(ε) = b (Example 2: M2 is not earliest)."""
+        transducer = constant_m2()
+        table = out_table(transducer)
+        assert all(prefix == parse_term("b") for prefix in table.values())
+
+    def test_flip_states_are_bottom(self):
+        transducer = flip_transducer()
+        table = out_table(transducer, flip_domain())
+        assert all(is_bottom(prefix) for prefix in table.values())
+
+
+class TestIsEarliest:
+    def test_example_2(self):
+        """M1 is earliest; M2 and M3 are not (Example 2)."""
+        assert is_earliest(constant_m1())
+        assert not is_earliest(constant_m2())
+        assert not is_earliest(constant_m3())
+
+    def test_flip_is_earliest(self):
+        assert is_earliest(flip_transducer(), flip_domain())
+
+
+class TestToEarliest:
+    def test_constant_m2_normalizes(self):
+        earliest, domain, info = to_earliest(constant_m2())
+        assert is_earliest(earliest, domain)
+        # The constant translation needs no states at all (like M1).
+        assert earliest.axiom == parse_term("b")
+        assert not earliest.rules
+
+    def test_constant_m3_normalizes(self):
+        earliest, domain, _ = to_earliest(constant_m3())
+        assert is_earliest(earliest, domain)
+        assert earliest.axiom == parse_term("b")
+
+    def test_semantics_preserved(self):
+        transducer = flip_transducer()
+        earliest, domain, _ = to_earliest(transducer, flip_domain())
+        for n, m in [(0, 0), (1, 0), (0, 1), (2, 3)]:
+            source = flip_input(n, m)
+            assert earliest.apply(source) == transducer.apply(source)
+
+    def test_earliest_equivalent_to_original(self):
+        transducer = flip_transducer()
+        earliest, _, _ = to_earliest(transducer, flip_domain())
+        assert equivalent_on(earliest, transducer, flip_domain())
+
+    def test_late_producer_becomes_earliest(self):
+        """A transducer that delays output is normalized to emit eagerly."""
+        from repro.trees.alphabet import RankedAlphabet
+        from repro.transducers.dtop import DTOP
+        from repro.transducers.rhs import call, rhs_tree
+        from repro.trees.tree import Tree
+
+        alphabet = RankedAlphabet({"g": 1, "e": 0})
+        out = RankedAlphabet({"u": 1, "e": 0})
+        # Copies the monadic input but emits each u one step late.
+        late = DTOP(
+            alphabet,
+            out,
+            call("q", 0),
+            {
+                ("q", "g"): Tree("u", (call("q", 1),)),
+                ("q", "e"): rhs_tree("e"),
+            },
+        )
+        earliest, domain, _ = to_earliest(late)
+        assert is_earliest(earliest, domain)
+        source = parse_term("g(g(e))")
+        assert earliest.apply(source) == late.apply(source)

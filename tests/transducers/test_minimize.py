@@ -1,0 +1,144 @@
+"""Tests for canonical minimal earliest compatible DTOPs (Sections 6–7)."""
+
+import pytest
+
+from repro.transducers.minimize import (
+    canonicalize,
+    check_c0,
+    check_c1,
+    check_c2,
+    equivalent_on,
+    is_compatible,
+)
+from repro.trees.tree import parse_term
+from repro.workloads.compat import example6_domain, example6_machines
+from repro.workloads.constants import constant_m1, constant_m2, constant_m3
+from repro.workloads.flip import flip_domain, flip_input, flip_transducer
+
+
+class TestCanonicalFlip:
+    def test_four_states_six_rules(self):
+        """The minimal earliest transducer for τ_flip (Introduction)."""
+        canonical = canonicalize(flip_transducer(), flip_domain())
+        assert canonical.num_states == 4
+        assert canonical.num_rules == 6
+
+    def test_canonical_is_deterministic(self):
+        c1 = canonicalize(flip_transducer(), flip_domain())
+        relabeled = flip_transducer().rename(
+            {"q1": "zz1", "q2": "zz2", "q3": "zz3", "q4": "zz4"}
+        )
+        c2 = canonicalize(relabeled, flip_domain())
+        assert c1.same_translation(c2)
+
+    def test_semantics_preserved(self):
+        canonical = canonicalize(flip_transducer(), flip_domain())
+        for n, m in [(0, 0), (2, 1)]:
+            assert canonical.dtop.apply(flip_input(n, m)) == flip_transducer().apply(
+                flip_input(n, m)
+            )
+
+    def test_state_domain_mapping(self):
+        canonical = canonicalize(flip_transducer(), flip_domain())
+        assert set(canonical.state_domain) == set(canonical.dtop.states)
+
+
+class TestCanonicalConstants:
+    def test_all_three_normalize_identically(self):
+        """Examples 1–2: M1, M2, M3 have the same canonical form."""
+        c1 = canonicalize(constant_m1())
+        c2 = canonicalize(constant_m2())
+        c3 = canonicalize(constant_m3())
+        assert c1.same_translation(c2)
+        assert c2.same_translation(c3)
+        assert c1.num_states == 0
+        assert c1.dtop.axiom == parse_term("b")
+
+
+class TestEquivalence:
+    def test_equivalent_constants(self):
+        assert equivalent_on(constant_m1(), constant_m2())
+        assert equivalent_on(constant_m2(), constant_m3())
+
+    def test_flip_not_equivalent_to_identity(self):
+        from repro.trees.alphabet import RankedAlphabet
+        from repro.transducers.dtop import DTOP
+        from repro.transducers.rhs import call, rhs_tree
+        from repro.trees.tree import Tree
+
+        alphabet = flip_transducer().input_alphabet
+        identity = DTOP(
+            alphabet,
+            alphabet,
+            call("i", 0),
+            {
+                ("i", symbol): Tree(
+                    symbol,
+                    tuple(call("i", k + 1) for k in range(rank)),
+                )
+                for symbol, rank in alphabet.items()
+            },
+        )
+        assert not equivalent_on(identity, flip_transducer(), flip_domain())
+        assert equivalent_on(identity, identity, flip_domain())
+
+    def test_equivalence_detects_rule_tweak(self):
+        tweaked = flip_transducer()
+        from repro.transducers.dtop import DTOP
+        from repro.transducers.rhs import rhs_tree
+
+        rules = dict(tweaked.rules)
+        rules[("q3", "b")] = rhs_tree(("b", "#", ("q4", 2)))  # b-list → a-list?!
+        other = DTOP(
+            tweaked.input_alphabet, tweaked.output_alphabet, tweaked.axiom, rules
+        )
+        assert not equivalent_on(tweaked, other, flip_domain())
+
+
+class TestExample6Compatibility:
+    """Example 6: M0 fails (C0), M2 fails (C1), M3 fails (C2); M1 passes."""
+
+    @pytest.fixture
+    def domain(self):
+        return example6_domain()
+
+    @pytest.fixture
+    def machines(self):
+        return example6_machines()
+
+    def test_all_agree_on_domain(self, machines):
+        for name, machine in machines.items():
+            assert machine.apply(parse_term("f(c, a)")) == parse_term("f(c, a)")
+            assert machine.apply(parse_term("f(c, b)")) == parse_term("f(c, b)")
+
+    def test_m0_fails_c0(self, domain, machines):
+        assert not check_c0(machines["M0"], domain)
+        assert check_c1(machines["M0"], domain)
+
+    def test_m1_is_compatible(self, domain, machines):
+        assert check_c0(machines["M1"], domain)
+        assert check_c1(machines["M1"], domain)
+        assert check_c2(machines["M1"], domain)
+        assert is_compatible(machines["M1"], domain)
+
+    def test_m2_fails_c1(self, domain, machines):
+        assert not check_c1(machines["M2"], domain)
+        assert not is_compatible(machines["M2"], domain)
+
+    def test_m3_fails_c2(self, domain, machines):
+        assert check_c0(machines["M3"], domain)
+        assert check_c1(machines["M3"], domain)
+        assert not check_c2(machines["M3"], domain)
+
+    def test_canonical_has_two_states(self, domain, machines):
+        """The minimal earliest compatible transducer is M1 (2 states)."""
+        for name in ["M0", "M1", "M2", "M3"]:
+            canonical = canonicalize(machines[name], domain)
+            assert canonical.num_states == 2, name
+
+    def test_all_canonicalize_to_same_machine(self, domain, machines):
+        forms = [
+            canonicalize(machines[name], domain) for name in machines
+        ]
+        for other in forms[1:]:
+            assert forms[0].same_translation(other)

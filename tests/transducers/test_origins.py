@@ -1,0 +1,50 @@
+"""Tests for origin-tracking evaluation."""
+
+import pytest
+
+from repro.errors import UndefinedTransductionError
+from repro.transducers.origins import apply_with_origins
+from repro.trees.tree import parse_term
+from repro.workloads.flip import flip_input, flip_transducer
+
+
+class TestOrigins:
+    def test_output_matches_apply(self):
+        transducer = flip_transducer()
+        source = flip_input(2, 1)
+        output, origins = apply_with_origins(transducer, source)
+        assert output == transducer.apply(source)
+
+    def test_every_output_node_has_origin(self):
+        transducer = flip_transducer()
+        output, origins = apply_with_origins(transducer, flip_input(1, 2))
+        assert set(origins) == set(output.nodes())
+
+    def test_swap_origins(self):
+        """The b-list in the output comes from input child 2."""
+        transducer = flip_transducer()
+        output, origins = apply_with_origins(transducer, flip_input(1, 1))
+        # Output position (1,) is the b produced while reading input (2,).
+        assert origins[(1,)] == (2,)
+        assert origins[(2,)] == (1,)
+
+    def test_axiom_output_originates_at_root(self):
+        transducer = flip_transducer()
+        _, origins = apply_with_origins(transducer, flip_input(0, 0))
+        assert origins[()] == ()
+
+    def test_copying_origins(self):
+        from repro.workloads.families import exp_full_binary
+        from repro.trees.generate import monadic_tree
+
+        transducer, _ = exp_full_binary()
+        output, origins = apply_with_origins(
+            transducer, monadic_tree(["a"], end="e")
+        )
+        # Both leaves of f(l, l) originate from the same input node (1,).
+        assert origins[(1,)] == (1,)
+        assert origins[(2,)] == (1,)
+
+    def test_undefined_raises(self):
+        with pytest.raises(UndefinedTransductionError):
+            apply_with_origins(flip_transducer(), parse_term("#"))

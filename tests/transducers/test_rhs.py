@@ -1,0 +1,71 @@
+"""Tests for right-hand-side trees and state calls."""
+
+import pytest
+
+from repro.errors import TransducerError
+from repro.transducers.rhs import (
+    Call,
+    call,
+    calls_in,
+    is_call,
+    is_pure,
+    rhs_tree,
+    substitute_calls,
+)
+from repro.trees.tree import Tree, leaf, parse_term
+
+
+class TestCall:
+    def test_str(self):
+        assert str(Call("q1", 2)) == "⟨q1, x2⟩"
+
+    def test_equality(self):
+        assert Call("q", 1) == Call("q", 1)
+        assert Call("q", 1) != Call("q", 2)
+
+    def test_call_tree(self):
+        node = call("q", 1)
+        assert is_call(node)
+        assert node.is_leaf
+
+
+class TestRhsSpec:
+    def test_string_is_symbol(self):
+        assert rhs_tree("#") == leaf("#")
+
+    def test_pair_with_int_is_call(self):
+        node = rhs_tree(("q3", 2))
+        assert node.label == Call("q3", 2)
+
+    def test_nested(self):
+        node = rhs_tree(("b", "#", ("q3", 2)))
+        assert node.label == "b"
+        assert node.children[0] == leaf("#")
+        assert is_call(node.children[1])
+
+    def test_tree_passthrough(self):
+        original = parse_term("f(a, b)")
+        assert rhs_tree(original) is original
+
+    def test_bad_spec(self):
+        with pytest.raises(TransducerError):
+            rhs_tree((1, 2, 3))
+
+
+class TestCallsIn:
+    def test_finds_all_calls_sorted(self):
+        node = rhs_tree(("f", ("q1", 1), ("g", ("q2", 2))))
+        found = list(calls_in(node))
+        assert found == [((1,), Call("q1", 1)), ((2, 1), Call("q2", 2))]
+
+    def test_pure_tree_has_none(self):
+        assert list(calls_in(parse_term("f(a, b)"))) == []
+        assert is_pure(parse_term("f(a, b)"))
+        assert not is_pure(rhs_tree(("q", 1)))
+
+
+class TestSubstituteCalls:
+    def test_substitution(self):
+        node = rhs_tree(("f", ("q1", 1), "a"))
+        got = substitute_calls(node, lambda c: leaf(f"{c.state}_{c.var}"))
+        assert got == parse_term("f(q1_1, a)")

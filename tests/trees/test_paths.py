@@ -1,0 +1,108 @@
+"""Tests for labeled paths, npaths, and the Section 8 path order."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.trees.paths import (
+    belongs,
+    node_to_path,
+    npath_belongs,
+    npaths_of,
+    pair_order_key,
+    parent_npath,
+    path_order_key,
+    path_to_nodes,
+    paths_of,
+    subtree_at_node,
+    subtree_at_path,
+    try_subtree_at_path,
+)
+from repro.trees.tree import parse_term
+
+
+TREE = parse_term("root(a(#, a(#, #)), b(#, #))")
+
+
+class TestBelongs:
+    def test_empty_path_belongs_everywhere(self):
+        assert belongs((), TREE)
+
+    def test_valid_path(self):
+        assert belongs((("root", 1), ("a", 2)), TREE)
+
+    def test_wrong_label(self):
+        assert not belongs((("root", 1), ("b", 2)), TREE)
+
+    def test_out_of_range_child(self):
+        assert not belongs((("root", 3),), TREE)
+
+    def test_npath_belongs_checks_final_label(self):
+        assert npath_belongs(((("root", 1),), "a"), TREE)
+        assert not npath_belongs(((("root", 1),), "b"), TREE)
+        assert npath_belongs(((), "root"), TREE)
+
+
+class TestSubtreeAccess:
+    def test_subtree_at_path(self):
+        sub = subtree_at_path(TREE, (("root", 1), ("a", 2)))
+        assert sub == parse_term("a(#, #)")
+
+    def test_subtree_at_path_raises(self):
+        with pytest.raises(PathError):
+            subtree_at_path(TREE, (("x", 1),))
+
+    def test_try_subtree_returns_none(self):
+        assert try_subtree_at_path(TREE, (("x", 1),)) is None
+
+    def test_subtree_at_node(self):
+        assert subtree_at_node(TREE, (2,)) == parse_term("b(#, #)")
+
+    def test_node_path_conversion_roundtrip(self):
+        path = node_to_path(TREE, (1, 2))
+        assert path == (("root", 1), ("a", 2))
+        assert path_to_nodes(path) == (1, 2)
+
+
+class TestEnumeration:
+    def test_paths_count_equals_nodes(self):
+        assert len(list(paths_of(TREE))) == TREE.size
+
+    def test_npaths_carry_labels(self):
+        npaths = set(npaths_of(TREE))
+        assert ((), "root") in npaths
+        assert ((("root", 2),), "b") in npaths
+
+    def test_parent_npath(self):
+        assert parent_npath(((("root", 1), ("a", 2)), "#")) == (
+            (("root", 1),),
+            "a",
+        )
+        with pytest.raises(PathError):
+            parent_npath(((), "root"))
+
+
+class TestOrder:
+    def test_shorter_paths_first(self):
+        short = (("root", 2),)
+        long = (("root", 1), ("a", 1))
+        assert path_order_key(short) < path_order_key(long)
+
+    def test_lexicographic_within_length(self):
+        assert path_order_key((("a", 1),)) < path_order_key((("a", 2),))
+        assert path_order_key((("a", 2),)) < path_order_key((("b", 1),))
+
+    def test_pair_order_u_dominates(self):
+        p1 = ((), (("root", 2),))
+        p2 = ((("root", 1),), ())
+        assert pair_order_key(p1) < pair_order_key(p2)
+
+    def test_pair_order_v_breaks_ties(self):
+        p1 = ((("root", 1),), (("root", 1),))
+        p2 = ((("root", 1),), (("root", 2),))
+        assert pair_order_key(p1) < pair_order_key(p2)
+
+    def test_example7_processing_order(self):
+        """p4 < p3 in Example 7: ((root,1),(root,2)) before ((root,2),(root,1))."""
+        p3 = ((("root", 2),), (("root", 1),))
+        p4 = ((("root", 1),), (("root", 2),))
+        assert pair_order_key(p4) < pair_order_key(p3)

@@ -1,0 +1,67 @@
+"""Tests for leaf substitution and surgical subtree replacement."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.trees.substitution import (
+    replace_at_node,
+    replace_at_path,
+    substitute_leaves,
+    substitute_leaves_fn,
+)
+from repro.trees.tree import Tree, leaf, parse_term
+
+
+class TestSubstituteLeaves:
+    def test_simple(self):
+        got = substitute_leaves(
+            parse_term("f(x, y)"),
+            {"x": parse_term("a"), "y": parse_term("g(a)")},
+        )
+        assert got == parse_term("f(a, g(a))")
+
+    def test_only_leaves_replaced(self):
+        """Section 2: the substitution is on rank-0 symbols only."""
+        got = substitute_leaves(parse_term("f(f(a, a), a)"), {"f": leaf("b")})
+        assert got == parse_term("f(f(a, a), a)")
+
+    def test_missing_keys_kept(self):
+        got = substitute_leaves(parse_term("f(x, a)"), {"x": leaf("b")})
+        assert got == parse_term("f(b, a)")
+
+    def test_no_change_shares_structure(self):
+        original = parse_term("f(a, b)")
+        assert substitute_leaves(original, {"z": leaf("c")}) is original
+
+    def test_fn_variant(self):
+        got = substitute_leaves_fn(
+            parse_term("f(a, b)"),
+            lambda l: leaf(l.label.upper()),
+        )
+        assert got == parse_term("f(A, B)")
+
+
+class TestReplaceAt:
+    def test_replace_at_node(self):
+        got = replace_at_node(parse_term("f(a, b)"), (2,), parse_term("g(a)"))
+        assert got == parse_term("f(a, g(a))")
+
+    def test_replace_root(self):
+        got = replace_at_node(parse_term("f(a, b)"), (), leaf("c"))
+        assert got == leaf("c")
+
+    def test_replace_bad_node(self):
+        with pytest.raises(PathError):
+            replace_at_node(parse_term("f(a, b)"), (3,), leaf("c"))
+
+    def test_replace_at_path_checks_labels(self):
+        tree = parse_term("f(g(a), b)")
+        got = replace_at_path(tree, (("f", 1), ("g", 1)), leaf("b"))
+        assert got == parse_term("f(g(b), b)")
+        with pytest.raises(PathError):
+            replace_at_path(tree, (("g", 1),), leaf("b"))
+
+    def test_replacement_at_deep_path(self):
+        tree = parse_term("f(f(f(a, a), a), a)")
+        got = replace_at_node(tree, (1, 1, 1), leaf("b"))
+        assert got == parse_term("f(f(f(b, a), a), a)")

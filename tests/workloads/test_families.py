@@ -1,0 +1,80 @@
+"""Tests for the parametric workload families."""
+
+import pytest
+
+from repro.transducers.minimize import canonicalize
+from repro.trees.generate import monadic_tree
+from repro.trees.tree import parse_term
+from repro.workloads.families import (
+    cycle_relabel,
+    exp_full_binary,
+    random_total_dtop,
+    rotate_lists,
+)
+
+
+class TestCycleRelabel:
+    def test_semantics(self):
+        target, _ = cycle_relabel(3)
+        source = monadic_tree(["a"] * 4, end="e")
+        assert target.apply(source) == parse_term("c0(c1(c2(c0(e))))")
+
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_canonical_state_count(self, n):
+        target, domain = cycle_relabel(n)
+        assert canonicalize(target, domain).num_states == n
+
+
+class TestRotateLists:
+    def test_rotation_semantics(self):
+        target, domain = rotate_lists(3)
+        from repro.trees.tree import Tree
+
+        def lst(symbol, length):
+            node = Tree("#", ())
+            for _ in range(length):
+                node = Tree(symbol, (Tree("#", ()), node))
+            return node
+
+        source = Tree("root", (lst("s0", 1), lst("s1", 2), lst("s2", 3)))
+        got = target.apply(source)
+        assert got == Tree("root", (lst("s1", 2), lst("s2", 3), lst("s0", 1)))
+
+    def test_k2_is_a_swap(self):
+        target, domain = rotate_lists(2)
+        assert domain.accepts(parse_term("root(s0(#, #), #)"))
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_domain_accepts_lists(self, k):
+        target, domain = rotate_lists(k)
+        from repro.automata.ops import minimal_witness_trees
+
+        witnesses = minimal_witness_trees(domain)
+        assert domain.initial in witnesses
+        assert target.defined_on(witnesses[domain.initial])
+
+
+class TestExpFullBinary:
+    def test_small_case(self):
+        target, _ = exp_full_binary()
+        assert target.apply(monadic_tree(["a"], end="e")) == parse_term("f(l, l)")
+
+
+class TestRandomDtop:
+    def test_total_on_domain(self):
+        import random
+
+        target, domain = random_total_dtop(3, seed=99)
+        from repro.trees.generate import random_tree
+
+        rng = random.Random(1)
+        for _ in range(10):
+            source = random_tree(target.input_alphabet, 4, rng)
+            assert target.try_apply(source) is not None
+
+    def test_deterministic_by_seed(self):
+        t1, _ = random_total_dtop(2, seed=5)
+        t2, _ = random_total_dtop(2, seed=5)
+        assert t1.rules == t2.rules
+        t3, _ = random_total_dtop(2, seed=6)
+        assert t1.rules != t3.rules

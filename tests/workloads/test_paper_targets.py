@@ -1,0 +1,96 @@
+"""Sanity tests tying the hand-written targets to reference semantics."""
+
+import pytest
+
+from repro.trees.tree import parse_term
+from repro.workloads.flip import (
+    flip_domain,
+    flip_input,
+    flip_output,
+    flip_transducer,
+)
+from repro.workloads.library import (
+    library_document,
+    library_input_dtd,
+    library_output_dtd,
+    library_transducer,
+    transform_library,
+)
+from repro.workloads.xmlflip import (
+    transform_xmlflip,
+    xmlflip_document,
+    xmlflip_input_dtd,
+    xmlflip_output_dtd,
+    xmlflip_transducer,
+)
+from repro.xml.encode import DTDEncoder
+from repro.xml.schema import schema_dtta
+
+
+class TestFlipTarget:
+    @pytest.mark.parametrize("n", range(4))
+    @pytest.mark.parametrize("m", range(4))
+    def test_against_reference(self, n, m):
+        assert flip_transducer().apply(flip_input(n, m)) == flip_output(n, m)
+
+    def test_domain_matches_transducer(self):
+        domain = flip_domain()
+        for n in range(3):
+            for m in range(3):
+                assert domain.accepts(flip_input(n, m))
+
+    def test_paper_intro_io(self):
+        got = flip_transducer().apply(
+            parse_term("root(a(#, a(#, #)), b(#, b(#, #)))")
+        )
+        assert got == parse_term("root(b(#, b(#, #)), a(#, a(#, #)))")
+
+
+class TestLibraryTarget:
+    @pytest.mark.parametrize("count", range(5))
+    def test_encoded_semantics_match_unranked_reference(self, count):
+        target = library_transducer()
+        enc_in = DTDEncoder(library_input_dtd(), fuse=True)
+        enc_out = DTDEncoder(library_output_dtd(), fuse=True)
+        document = library_document(count)
+        got = target.apply(enc_in.encode(document))
+        want = enc_out.encode(transform_library(document))
+        assert got == want
+
+    def test_domain_accepts_encodings(self):
+        enc_in = DTDEncoder(library_input_dtd(), fuse=True)
+        domain = schema_dtta(enc_in)
+        for count in range(4):
+            assert domain.accepts(enc_in.encode(library_document(count)))
+
+    def test_target_total_on_closure(self):
+        """The target must also be defined on path-closure trees
+        (otherwise its effective domain would shrink below L(A))."""
+        from repro.automata.ops import enumerate_language, trim
+
+        enc_in = DTDEncoder(library_input_dtd(), fuse=True)
+        domain = trim(schema_dtta(enc_in))
+        target = library_transducer()
+        for tree in enumerate_language(domain, limit=30):
+            assert target.try_apply(tree) is not None
+
+
+class TestXmlflipTarget:
+    @pytest.mark.parametrize("n,m", [(0, 0), (1, 0), (0, 1), (2, 3), (3, 3)])
+    def test_encoded_semantics_match_unranked_reference(self, n, m):
+        target = xmlflip_transducer()
+        enc_in = DTDEncoder(xmlflip_input_dtd())
+        enc_out = DTDEncoder(xmlflip_output_dtd())
+        document = xmlflip_document(n, m)
+        got = target.apply(enc_in.encode(document))
+        want = enc_out.encode(transform_xmlflip(document))
+        assert got == want
+
+    def test_target_total_on_closure(self):
+        from repro.automata.ops import enumerate_language, trim
+
+        enc_in = DTDEncoder(xmlflip_input_dtd())
+        domain = trim(schema_dtta(enc_in))
+        target = xmlflip_transducer()
+        for tree in enumerate_language(domain, limit=30):
+            assert target.try_apply(tree) is not None

@@ -1,0 +1,86 @@
+"""Tests for the abstract-values encoding mode."""
+
+import pytest
+
+from repro.workloads.library import (
+    library_document,
+    library_input_dtd,
+)
+from repro.xml.encode import DTDEncoder, VALUE_LABELS, abstract_value_of
+from repro.xml.schema import schema_dtta
+from repro.xml.unranked import element, text
+
+
+class TestAbstraction:
+    def test_stable(self):
+        assert abstract_value_of("hello") == abstract_value_of("hello")
+
+    def test_two_values_exist(self):
+        values = {abstract_value_of(t) for t in ["a", "b", "c", "d"]}
+        assert values == set(VALUE_LABELS)
+
+    def test_parity_semantics(self):
+        # Byte-sum parity: consecutive counter digits alternate.
+        assert abstract_value_of("title1") != abstract_value_of("title2")
+
+    def test_none_is_stable(self):
+        assert abstract_value_of(None) in VALUE_LABELS
+
+
+class TestEncoding:
+    def test_pcdata_becomes_unary(self):
+        encoder = DTDEncoder(
+            library_input_dtd(), fuse=True, abstract_values=True
+        )
+        assert encoder.alphabet.rank("pcdata") == 1
+        assert encoder.alphabet.rank("v0") == 0
+        tree = encoder.encode(library_document(1))
+        pcdata_nodes = [n for _, n in tree.subtrees() if n.label == "pcdata"]
+        assert pcdata_nodes
+        assert all(n.arity == 1 for n in pcdata_nodes)
+        assert all(n.children[0].label in VALUE_LABELS for n in pcdata_nodes)
+
+    def test_values_keyed_by_value_leaf(self):
+        encoder = DTDEncoder(
+            library_input_dtd(), fuse=True, abstract_values=True
+        )
+        tree, values = encoder.encode_with_values(library_document(1))
+        for address in values:
+            node = tree
+            for index in address:
+                node = node.children[index - 1]
+            assert node.label in VALUE_LABELS
+
+    def test_roundtrip_with_values(self):
+        encoder = DTDEncoder(
+            library_input_dtd(), fuse=True, abstract_values=True
+        )
+        doc = library_document(2)
+        assert encoder.roundtrip(doc) == doc
+
+    def test_schema_accepts(self):
+        encoder = DTDEncoder(
+            library_input_dtd(), fuse=True, abstract_values=True
+        )
+        automaton = schema_dtta(encoder)
+        for count in range(3):
+            assert automaton.accepts(encoder.encode(library_document(count)))
+
+    def test_schema_allows_both_values(self):
+        """Both abstract values are allowed at every text position, so
+        the learner's domain does not leak the actual document values."""
+        encoder = DTDEncoder(
+            library_input_dtd(), fuse=True, abstract_values=True
+        )
+        automaton = schema_dtta(encoder)
+        tree = encoder.encode(library_document(1))
+
+        def flip_values(node):
+            from repro.trees.tree import Tree
+
+            if node.label in VALUE_LABELS:
+                other = VALUE_LABELS[1 - VALUE_LABELS.index(node.label)]
+                return Tree(other, ())
+            return Tree(node.label, tuple(flip_values(c) for c in node.children))
+
+        assert automaton.accepts(flip_values(tree))

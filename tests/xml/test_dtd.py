@@ -1,0 +1,123 @@
+"""Tests for DTD parsing and content-model labels."""
+
+import pytest
+
+from repro.errors import DTDError
+from repro.xml.dtd import (
+    Alt,
+    ElementRe,
+    Empty,
+    Opt,
+    PCDataRe,
+    Plus,
+    Seq,
+    Star,
+    parse_content_model,
+    parse_dtd,
+)
+
+
+class TestContentModelParsing:
+    def test_single_element(self):
+        assert parse_content_model("BOOK") == ElementRe("BOOK")
+
+    def test_star(self):
+        assert parse_content_model("BOOK*") == Star(ElementRe("BOOK"))
+
+    def test_plus_and_opt(self):
+        assert parse_content_model("a+") == Plus(ElementRe("a"))
+        assert parse_content_model("a?") == Opt(ElementRe("a"))
+
+    def test_sequence(self):
+        got = parse_content_model("(AUTHOR, TITLE, YEAR?)")
+        assert isinstance(got, Seq)
+        assert got.parts[2] == Opt(ElementRe("YEAR"))
+
+    def test_choice(self):
+        got = parse_content_model("((AUTHOR, TITLE, YEAR?) | TITLE)")
+        assert isinstance(got, Alt)
+
+    def test_pcdata(self):
+        assert parse_content_model("#PCDATA") == PCDataRe()
+        assert parse_content_model("(#PCDATA)") == PCDataRe()
+
+    def test_empty(self):
+        assert parse_content_model("EMPTY") == Empty()
+
+    def test_group_star(self):
+        got = parse_content_model("(a, b)*")
+        assert got == Star(Seq((ElementRe("a"), ElementRe("b"))))
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DTDError):
+            parse_content_model("(a, b | c)")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(DTDError):
+            parse_content_model("a b")
+
+
+class TestLabels:
+    """Labels are the paper's encoding symbols: "a*", "(a*,b*)" etc."""
+
+    def test_star_label(self):
+        assert parse_content_model("a*").label() == "a*"
+
+    def test_seq_label(self):
+        assert parse_content_model("(a*, b*)").label() == "(a*,b*)"
+
+    def test_alt_label(self):
+        assert (
+            parse_content_model("((AUTHOR, TITLE, YEAR?) | TITLE)").label()
+            == "((AUTHOR,TITLE,YEAR?)|TITLE)"
+        )
+
+    def test_nested_unary_parenthesized(self):
+        assert parse_content_model("(a*)?").label() == "(a*)?"
+
+    def test_group_star_label(self):
+        assert parse_content_model("(a, b)*").label() == "(a,b)*"
+
+
+class TestDTDParsing:
+    def test_library_dtd(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT LIBRARY (BOOK*) >
+            <!ELEMENT BOOK ((AUTHOR, TITLE, YEAR?) | TITLE) >
+            <!ELEMENT AUTHOR #PCDATA >
+            <!ELEMENT TITLE #PCDATA >
+            <!ELEMENT YEAR #PCDATA >
+            """
+        )
+        assert dtd.start == "LIBRARY"
+        assert dtd.content("LIBRARY") == Star(ElementRe("BOOK"))
+        assert isinstance(dtd.content("BOOK"), Alt)
+
+    def test_start_override(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY >\n<!ELEMENT b (a) >", start="b"
+        )
+        assert dtd.start == "b"
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a (missing) >")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a EMPTY >\n<!ELEMENT a EMPTY >")
+
+    def test_no_declarations(self):
+        with pytest.raises(DTDError):
+            parse_dtd("nothing here")
+
+    def test_describe_roundtrips(self):
+        source = """
+        <!ELEMENT root (a*,b*) >
+        <!ELEMENT a EMPTY >
+        <!ELEMENT b EMPTY >
+        """
+        dtd = parse_dtd(source)
+        again = parse_dtd(dtd.describe())
+        assert again.elements == dtd.elements

@@ -1,0 +1,58 @@
+"""Tests for the first-child/next-sibling encoding."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trees.tree import parse_term
+from repro.xml.fcns import fcns_alphabet, fcns_decode, fcns_encode
+from repro.xml.unranked import UTree, element
+
+
+class TestEncode:
+    def test_flat_children(self):
+        doc = element("root", element("a"), element("a"), element("b"))
+        got = fcns_encode(doc)
+        assert got == parse_term("root(a(#, a(#, b(#, #))), #)")
+
+    def test_single_node(self):
+        assert fcns_encode(element("a")) == parse_term("a(#, #)")
+
+    def test_nesting(self):
+        doc = element("r", element("a", element("b")))
+        assert fcns_encode(doc) == parse_term("r(a(b(#, #), #), #)")
+
+
+class TestDecode:
+    def test_roundtrip_explicit(self):
+        doc = element("r", element("a", element("b")), element("c"))
+        assert fcns_decode(fcns_encode(doc)) == doc
+
+    def test_alphabet(self):
+        alphabet = fcns_alphabet(["r", "a"])
+        assert alphabet.rank("r") == 2
+        assert alphabet.rank("#") == 0
+
+
+def utrees(max_depth=3, max_children=3):
+    labels = st.sampled_from(["r", "a", "b", "c"])
+    base = labels.map(lambda l: UTree(l, ()))
+    strategy = base
+    for _ in range(max_depth):
+        strategy = st.tuples(
+            labels, st.lists(strategy, max_size=max_children)
+        ).map(lambda lc: UTree(lc[0], tuple(lc[1])))
+    return strategy
+
+
+class TestProperties:
+    @given(utrees())
+    @settings(max_examples=60)
+    def test_roundtrip(self, doc):
+        assert fcns_decode(fcns_encode(doc)) == doc
+
+    @given(utrees())
+    @settings(max_examples=60)
+    def test_encoded_size(self, doc):
+        """fc/ns encoding has exactly one node + one # per unranked node,
+        plus the root's trailing #."""
+        encoded = fcns_encode(doc)
+        assert encoded.size == 2 * doc.size + 1

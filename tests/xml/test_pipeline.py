@@ -1,0 +1,128 @@
+"""End-to-end tests for learning XML transformations (Section 10)."""
+
+import pytest
+
+from repro.errors import InsufficientSampleError
+from repro.workloads.library import (
+    library_document,
+    library_examples,
+    library_input_dtd,
+    library_output_dtd,
+    transform_library,
+)
+from repro.workloads.xmlflip import (
+    transform_xmlflip,
+    xmlflip_document,
+    xmlflip_examples,
+    xmlflip_input_dtd,
+    xmlflip_output_dtd,
+)
+from repro.xml.pipeline import learn_xml_transformation
+
+
+class TestXmlflipCompact:
+    """E5: with compact lists, 4 document examples suffice — 'as for τ_flip'."""
+
+    @pytest.fixture(scope="class")
+    def transformation(self):
+        return learn_xml_transformation(
+            xmlflip_input_dtd(),
+            xmlflip_output_dtd(),
+            xmlflip_examples(),
+            compact_lists=True,
+        )
+
+    def test_learns_from_four_examples(self, transformation):
+        assert transformation.num_states > 0
+
+    @pytest.mark.parametrize("n,m", [(0, 0), (4, 0), (0, 4), (3, 2), (5, 5)])
+    def test_generalizes(self, transformation, n, m):
+        doc = xmlflip_document(n, m)
+        assert transformation.apply(doc) == transform_xmlflip(doc)
+
+
+class TestXmlflipPaperEncoding:
+    def test_document_examples_are_ambiguous(self):
+        """With R*(#,#) lists, document examples cannot fix the alignment:
+        the two children of a star node are correlated (see DESIGN.md)."""
+        with pytest.raises(InsufficientSampleError):
+            learn_xml_transformation(
+                xmlflip_input_dtd(),
+                xmlflip_output_dtd(),
+                xmlflip_examples(
+                    tuple((n, m) for n in range(4) for m in range(4))
+                ),
+            )
+
+
+class TestLibraryDocumentOnly:
+    """E4 (document route): compact lists + abstract values + teaching set."""
+
+    @pytest.fixture(scope="class")
+    def transformation(self):
+        from repro.workloads.library import library_teaching_examples
+
+        return learn_xml_transformation(
+            library_input_dtd(),
+            library_output_dtd(),
+            library_teaching_examples(),
+            fuse_input=True,
+            fuse_output=True,
+            compact_lists=True,
+            abstract_values=True,
+        )
+
+    def test_state_count(self, transformation):
+        assert transformation.num_states == 10
+        assert transformation.num_rules == 13
+
+    @pytest.mark.parametrize("count", [0, 1, 2, 5, 8])
+    def test_generalizes_with_values(self, transformation, count):
+        doc = library_document(count)
+        assert transformation.apply(doc) == transform_library(doc)
+
+    def test_values_carried_through(self, transformation):
+        doc = library_document(2)
+        result = transformation.apply(doc)
+        texts = sorted(
+            node.text for _, node in result.subtrees() if node.is_text
+        )
+        # Titles appear twice (summary + book), authors once, years deleted.
+        assert texts == sorted(
+            ["author1", "author2", "title1", "title1", "title2", "title2"]
+        )
+
+
+class TestLibraryPaperEncoding:
+    """E4 (paper route): the paper's s0..s3 documents are NOT characteristic
+    with the R*(#,#) encoding — the star-child correlation makes the
+    variable alignment ambiguous (same analysis as xmlflip)."""
+
+    def test_paper_sample_is_ambiguous(self):
+        with pytest.raises(InsufficientSampleError):
+            learn_xml_transformation(
+                library_input_dtd(),
+                library_output_dtd(),
+                library_examples((0, 1, 2, 3)),
+                fuse_input=True,
+                fuse_output=True,
+            )
+
+    def test_characteristic_sample_route_succeeds(self):
+        """Learning from a generated characteristic sample (with closure
+        trees) recovers the canonical 12-state machine."""
+        from repro.learning.charset import characteristic_sample
+        from repro.learning.rpni import rpni_dtop
+        from repro.transducers.minimize import canonicalize
+        from repro.workloads.library import library_transducer
+        from repro.xml.encode import DTDEncoder
+        from repro.xml.schema import schema_dtta
+
+        encoder = DTDEncoder(library_input_dtd(), fuse=True)
+        canonical = canonicalize(library_transducer(), schema_dtta(encoder))
+        assert canonical.num_states == 12
+        sample = characteristic_sample(canonical)
+        learned = rpni_dtop(sample, canonical.domain)
+        assert canonicalize(learned.dtop, canonical.domain).same_translation(
+            canonical
+        )

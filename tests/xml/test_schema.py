@@ -1,0 +1,86 @@
+"""Tests for the DTD-derived domain automaton."""
+
+import pytest
+
+from repro.automata.ops import minimal_witness_trees, trim
+from repro.trees.tree import parse_term
+from repro.workloads.library import library_document, library_input_dtd
+from repro.workloads.xmlflip import xmlflip_document, xmlflip_input_dtd
+from repro.xml.dtd import parse_dtd
+from repro.xml.encode import DTDEncoder
+from repro.xml.schema import schema_dtta
+from repro.xml.unranked import element, text
+
+
+class TestAcceptsEncodings:
+    @pytest.mark.parametrize("compact", [False, True])
+    @pytest.mark.parametrize("n,m", [(0, 0), (2, 1), (0, 3)])
+    def test_xmlflip(self, compact, n, m):
+        encoder = DTDEncoder(xmlflip_input_dtd(), compact_lists=compact)
+        automaton = schema_dtta(encoder)
+        assert automaton.accepts(encoder.encode(xmlflip_document(n, m)))
+
+    @pytest.mark.parametrize("count", [0, 1, 3])
+    def test_library_fused(self, count):
+        encoder = DTDEncoder(library_input_dtd(), fuse=True)
+        automaton = schema_dtta(encoder)
+        assert automaton.accepts(encoder.encode(library_document(count)))
+
+    def test_choice_dtd(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r ((a | b)*) >
+            <!ELEMENT a EMPTY >
+            <!ELEMENT b (a?) >
+            """
+        )
+        encoder = DTDEncoder(dtd)
+        automaton = schema_dtta(encoder)
+        doc = element("r", element("a"), element("b", element("a")), element("b"))
+        assert automaton.accepts(encoder.encode(doc))
+
+
+class TestRejections:
+    def test_wrong_shape_rejected(self):
+        encoder = DTDEncoder(xmlflip_input_dtd())
+        automaton = schema_dtta(encoder)
+        assert not automaton.accepts(parse_term("root(#)"))
+        assert not automaton.accepts(parse_term('root("(a*,b*)"(b*(#, #), a*(#, #)))'))
+
+    def test_star_item_types_enforced(self):
+        encoder = DTDEncoder(xmlflip_input_dtd())
+        automaton = schema_dtta(encoder)
+        # b inside the a-list is rejected.
+        bad = parse_term('root("(a*,b*)"(a*(b, a*(#, #)), b*(#, #)))')
+        assert not automaton.accepts(bad)
+
+
+class TestClosureBehaviour:
+    def test_paper_mode_accepts_closure_trees(self):
+        """With R*(#,#) lists the automaton accepts path-closure trees."""
+        encoder = DTDEncoder(xmlflip_input_dtd())
+        automaton = schema_dtta(encoder)
+        closure_tree = parse_term('root("(a*,b*)"(a*(a, #), b*(#, #)))')
+        assert automaton.accepts(closure_tree)
+
+    def test_compact_mode_is_exact_for_lists(self):
+        """Compact lists: a star node always has a proper item child."""
+        encoder = DTDEncoder(xmlflip_input_dtd(), compact_lists=True)
+        automaton = schema_dtta(encoder)
+        assert not automaton.accepts(
+            parse_term('root("(a*,b*)"(a*(#, #), #))')
+        )
+        assert automaton.accepts(parse_term('root("(a*,b*)"(a*(a, #), #))'))
+
+    def test_trim_keeps_language(self):
+        encoder = DTDEncoder(xmlflip_input_dtd())
+        automaton = schema_dtta(encoder)
+        trimmed = trim(automaton)
+        tree = encoder.encode(xmlflip_document(1, 1))
+        assert trimmed.accepts(tree)
+
+    def test_witnesses_exist(self):
+        encoder = DTDEncoder(library_input_dtd(), fuse=True)
+        automaton = trim(schema_dtta(encoder))
+        witnesses = minimal_witness_trees(automaton)
+        assert automaton.initial in witnesses

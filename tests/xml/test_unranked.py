@@ -1,0 +1,60 @@
+"""Tests for unranked trees."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.xml.unranked import PCDATA_LABEL, UTree, element, text
+
+
+class TestConstruction:
+    def test_element(self):
+        node = element("a", element("b"), text("hi"))
+        assert node.label == "a"
+        assert len(node.children) == 2
+
+    def test_text_node(self):
+        node = text("hello")
+        assert node.is_text
+        assert node.text == "hello"
+        assert node.label == PCDATA_LABEL
+
+    def test_text_only_on_pcdata(self):
+        with pytest.raises(TreeError):
+            UTree("a", (), "hello")
+
+    def test_text_nodes_have_no_children(self):
+        with pytest.raises(TreeError):
+            UTree(PCDATA_LABEL, (element("b"),), "hi")
+
+    def test_immutable(self):
+        node = element("a")
+        with pytest.raises(TreeError):
+            node.label = "b"
+
+
+class TestEquality:
+    def test_structural(self):
+        assert element("a", text("x")) == element("a", text("x"))
+        assert element("a", text("x")) != element("a", text("y"))
+
+    def test_hashable(self):
+        assert len({element("a"), element("a")}) == 1
+
+
+class TestOperations:
+    def test_size(self):
+        assert element("a", element("b"), text("x")).size == 3
+
+    def test_subtrees_addresses(self):
+        node = element("a", element("b", text("x")))
+        addresses = [addr for addr, _ in node.subtrees()]
+        assert addresses == [(), (1,), (1, 1)]
+
+    def test_strip_text(self):
+        node = element("a", text("hello"))
+        stripped = node.strip_text()
+        assert stripped.children[0].text is None
+        assert stripped.children[0].is_text
+
+    def test_str(self):
+        assert str(element("a", element("b"))) == "a(b)"

@@ -1,0 +1,25 @@
+"""Tests for the XSLT-like rendering of learned transducers."""
+
+from repro.workloads.flip import flip_transducer
+from repro.xml.xslt import to_xslt
+
+
+class TestRendering:
+    def test_contains_stylesheet_skeleton(self):
+        text = to_xslt(flip_transducer())
+        assert text.startswith("<xsl:stylesheet")
+        assert text.rstrip().endswith("</xsl:stylesheet>")
+
+    def test_one_template_per_rule(self):
+        text = to_xslt(flip_transducer())
+        # 6 rules + 1 root template.
+        assert text.count("<xsl:template") == 7
+
+    def test_states_become_modes(self):
+        text = to_xslt(flip_transducer())
+        assert 'mode="q3"' in text
+        assert 'match="b" mode="q3"' in text
+
+    def test_apply_templates_select_variables(self):
+        text = to_xslt(flip_transducer())
+        assert 'select="*[2]"' in text
