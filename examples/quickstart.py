@@ -6,6 +6,10 @@ learner the domain automaton and the exact four input/output pairs
 printed in the paper, and get back the minimal earliest transducer
 M_flip with its four states.
 
+This walkthrough uses the lower-level modules to follow the paper's
+narrative; for the one-call version of the same workflow see
+:mod:`repro.api` (``api.learn`` / ``api.run``) and the README quickstart.
+
 Run:  python examples/quickstart.py
 """
 

@@ -7,21 +7,24 @@ form, canonical minimal compatible machine), the ``RPNI_dtop`` learner
 with characteristic samples, and the DTD-based encoding that makes the
 theory work on real XML.
 
-The most common entry points are re-exported here; the subpackages
-(:mod:`repro.trees`, :mod:`repro.automata`, :mod:`repro.transducers`,
-:mod:`repro.learning`, :mod:`repro.xml`, :mod:`repro.strings`,
-:mod:`repro.workloads`) hold the full API.
+:mod:`repro.api` is the stable high-level facade (learn / run / minimize
+/ serialize); the most common lower-level entry points are re-exported
+here, and the subpackages (:mod:`repro.trees`, :mod:`repro.automata`,
+:mod:`repro.transducers`, :mod:`repro.learning`, :mod:`repro.xml`,
+:mod:`repro.strings`, :mod:`repro.workloads`) hold the full API.
 """
 
+from repro import api
 from repro.trees import RankedAlphabet, Tree, parse_term
 from repro.automata import DTTA
 from repro.transducers import DTOP, canonicalize, equivalent_on
 from repro.learning import Sample, characteristic_sample, rpni_dtop
 from repro.xml.pipeline import learn_xml_transformation
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "api",
     "RankedAlphabet",
     "Tree",
     "parse_term",

@@ -1,0 +1,199 @@
+"""repro.api — the stable high-level facade of the library.
+
+This module is the documented entry surface: everything a typical user
+needs — learning a DTOP from examples, running one, normalizing one, and
+moving artifacts to and from disk — behind six functions with permissive
+input types.  The subpackages remain fully public for advanced use; the
+facade only removes the boilerplate of wiring them together.
+
+Quickstart::
+
+    from repro import api
+
+    learned = api.learn([
+        ("f(a, b)", "g(b)"),
+        ("f(b, a)", "g(a)"),
+        ("f(a, a)", "g(a)"),
+        ("f(b, b)", "g(b)"),
+    ])
+    print(api.run(learned, "f(a, b)"))      # g(b)
+    text = api.serialize(learned)            # JSON, stable format
+    again = api.deserialize(text)            # a DTOP
+
+Trees may be given as :class:`~repro.trees.tree.Tree` objects or as
+strings in the paper's term syntax (``"f(a, g(b))"``); transducer
+arguments accept a raw :class:`~repro.transducers.dtop.DTOP`, a
+:class:`~repro.learning.rpni.LearnedDTOP`, or a
+:class:`~repro.transducers.minimize.CanonicalDTOP` interchangeably.
+
+Performance notes
+-----------------
+
+All evaluation in the library runs over interned (hash-consed) trees
+with persistent memo caches — see ``docs/ARCHITECTURE.md`` for the full
+map.  :func:`cache_stats` aggregates the global counters and
+:func:`clear_caches` releases the global caches (per-transducer memos are
+released with the transducer itself, or via ``DTOP.clear_caches``).
+Never mutate a :class:`~repro.trees.tree.Tree` or a label object stored
+in one: nodes are shared program-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro import serialize as _serialize
+from repro.automata.build import local_dtta_from_trees
+from repro.automata.dtta import DTTA
+from repro.learning.rpni import LearnedDTOP, rpni_dtop
+from repro.learning.sample import Sample
+from repro.trees.lcp import clear_lcp_cache, lcp_cache_stats
+from repro.trees.tree import Tree, intern_stats, parse_term, reset_intern_stats
+from repro.transducers.dtop import DTOP
+from repro.transducers.minimize import CanonicalDTOP, canonicalize, equivalent_on
+
+#: Anything the facade accepts where a tree is expected.
+TreeLike = Union[Tree, str]
+#: Anything the facade accepts where a transducer is expected.
+TransducerLike = Union[DTOP, LearnedDTOP, CanonicalDTOP]
+
+__all__ = [
+    "parse_tree",
+    "learn",
+    "run",
+    "minimize",
+    "equivalent",
+    "serialize",
+    "deserialize",
+    "save",
+    "load",
+    "cache_stats",
+    "clear_caches",
+]
+
+
+def parse_tree(source: TreeLike) -> Tree:
+    """Coerce a tree-like value: parse term-syntax strings, pass trees through.
+
+    >>> parse_tree("f(a, g(b))").size
+    4
+    """
+    if isinstance(source, Tree):
+        return source
+    return parse_term(source)
+
+
+def _as_dtop(transducer: TransducerLike) -> DTOP:
+    """Unwrap any accepted transducer representation to the raw DTOP."""
+    if isinstance(transducer, (LearnedDTOP, CanonicalDTOP)):
+        return transducer.dtop
+    return transducer
+
+
+def learn(
+    examples: Iterable[Tuple[TreeLike, TreeLike]],
+    domain: Optional[DTTA] = None,
+) -> LearnedDTOP:
+    """Learn a DTOP from ``(input, output)`` example pairs (``RPNI_dtop``).
+
+    ``domain`` is the DTTA for the target's domain language; when omitted
+    it is inferred from the example inputs as the smallest *local* DTTA
+    containing them (:func:`repro.automata.build.local_dtta_from_trees`)
+    — exact for DTD-shaped languages, an over-approximation otherwise.
+
+    The examples must form a partial function and, for the result to be
+    the canonical minimal transducer of the target translation, contain a
+    characteristic sample (Definition 31); otherwise
+    :class:`~repro.errors.InsufficientSampleError` explains what evidence
+    is missing.
+
+    >>> learned = learn([("f(a, b)", "g(b)"), ("f(b, a)", "g(a)"),
+    ...                  ("f(a, a)", "g(a)"), ("f(b, b)", "g(b)")])
+    >>> str(run(learned, "f(a, b)"))
+    'g(b)'
+    """
+    pairs = [(parse_tree(s), parse_tree(t)) for s, t in examples]
+    sample = Sample(pairs)
+    if domain is None:
+        domain = local_dtta_from_trees([s for s, _ in pairs])
+    return rpni_dtop(sample, domain)
+
+
+def run(transducer: TransducerLike, tree: TreeLike) -> Tree:
+    """Apply a transducer to an input tree: ``[[M]](s)``.
+
+    Raises :class:`~repro.errors.UndefinedTransductionError` when the
+    input is outside the transducer's domain.  Evaluation goes through
+    the persistent ``(state, node-uid)`` memo, so repeated runs over
+    overlapping inputs are incremental.
+    """
+    return _as_dtop(transducer).apply(parse_tree(tree))
+
+
+def minimize(
+    transducer: TransducerLike, domain: Optional[DTTA] = None
+) -> CanonicalDTOP:
+    """The canonical minimal earliest compatible transducer (Theorem 28).
+
+    Two transducers denote the same translation iff their canonical forms
+    are structurally equal — see :func:`equivalent`.
+    """
+    return canonicalize(_as_dtop(transducer), domain)
+
+
+def equivalent(
+    left: TransducerLike,
+    right: TransducerLike,
+    domain: Optional[DTTA] = None,
+) -> bool:
+    """Decide whether two transducers denote the same partial function.
+
+    With ``domain`` given, equality is relative to its language.
+    """
+    return equivalent_on(_as_dtop(left), _as_dtop(right), domain)
+
+
+def serialize(obj: Any, indent: int = 2) -> str:
+    """Serialize a Tree, DTTA, DTOP, Sample (or wrapper) to stable JSON."""
+    if isinstance(obj, (LearnedDTOP, CanonicalDTOP)):
+        obj = obj.dtop
+    return _serialize.dumps(obj, indent=indent)
+
+
+def deserialize(text: str) -> Any:
+    """Inverse of :func:`serialize`; the format key selects the type."""
+    return _serialize.loads(text)
+
+
+def save(obj: Any, path: str) -> None:
+    """Serialize ``obj`` and write it to ``path`` (UTF-8 JSON)."""
+    if isinstance(obj, (LearnedDTOP, CanonicalDTOP)):
+        obj = obj.dtop
+    _serialize.dump(obj, path)
+
+
+def load(path: str) -> Any:
+    """Read and deserialize an artifact written by :func:`save`."""
+    return _serialize.load(path)
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Global cache counters: tree interning and the memoized ``⊔``.
+
+    Per-transducer run memos are reported by ``DTOP.cache_stats`` and
+    per-sample memos by ``Sample.cache_stats()``.
+    """
+    return {
+        "intern": intern_stats(),
+        "lcp": lcp_cache_stats(),
+    }
+
+
+def clear_caches() -> None:
+    """Release the global memo caches (the intern table clears itself).
+
+    Only useful to bound memory in long-running processes; correctness
+    never depends on calling this.
+    """
+    clear_lcp_cache()
+    reset_intern_stats()

@@ -19,6 +19,9 @@ from repro.trees.tree import Tree
 State = Hashable
 Transitions = Mapping[Tuple[State, Symbol], Tuple[State, ...]]
 
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
 
 class DTTA:
     """A deterministic top-down tree automaton.
@@ -38,7 +41,15 @@ class DTTA:
     transitions.  Determinism is structural (it is a map).
     """
 
-    __slots__ = ("alphabet", "initial", "transitions", "_states")
+    __slots__ = (
+        "alphabet",
+        "initial",
+        "transitions",
+        "_states",
+        "_path_cache",
+        "_accept_cache",
+        "_allowed_cache",
+    )
 
     def __init__(
         self,
@@ -64,30 +75,53 @@ class DTTA:
         self.initial = initial
         self.transitions: Dict[Tuple[State, Symbol], Tuple[State, ...]] = checked
         self._states: FrozenSet[State] = frozenset(states)
+        # Memos for state_at_path and accepts_from; sound as long as the
+        # transitions stay frozen (they are — nothing mutates a DTTA
+        # after construction) and because tree uids are never reused.
+        self._path_cache: Dict[Path, Optional[State]] = {}
+        self._accept_cache: Dict[Tuple[State, int], bool] = {}
+        self._allowed_cache: Dict[State, Tuple[Symbol, ...]] = {}
 
     @property
     def states(self) -> FrozenSet[State]:
         return self._states
 
     def allowed_symbols(self, state: State) -> Tuple[Symbol, ...]:
-        """Symbols ``f`` with a transition from ``state``, sorted."""
-        return tuple(
-            sorted(s for (d, s) in self.transitions if d == state)
-        )
+        """Symbols ``f`` with a transition from ``state``, sorted.  Cached."""
+        cached = self._allowed_cache.get(state)
+        if cached is None:
+            cached = tuple(
+                sorted(s for (d, s) in self.transitions if d == state)
+            )
+            self._allowed_cache[state] = cached
+        return cached
 
     def step(self, state: State, symbol: Symbol) -> Optional[Tuple[State, ...]]:
         """The child states for ``(state, symbol)``, or ``None``."""
         return self.transitions.get((state, symbol))
 
     def accepts_from(self, state: State, node: Tree) -> bool:
-        """Does the run from ``state`` succeed on ``node``?"""
+        """Does the run from ``state`` succeed on ``node``?
+
+        Memoized on ``(state, node.uid)``: membership tests over a batch
+        of overlapping inputs (every sample validation does this) cost
+        one run per distinct subtree.
+        """
+        key = (state, node.uid)
+        cached = self._accept_cache.get(key)
+        if cached is not None:
+            return cached
         children = self.transitions.get((state, node.label))
-        if children is None or len(children) != node.arity:
-            return False
-        return all(
-            self.accepts_from(child_state, child)
-            for child_state, child in zip(children, node.children)
+        result = (
+            children is not None
+            and len(children) == len(node.children)
+            and all(
+                self.accepts_from(child_state, child)
+                for child_state, child in zip(children, node.children)
+            )
         )
+        self._accept_cache[key] = result
+        return result
 
     def accepts(self, node: Tree) -> bool:
         """Membership in ``L(A)``."""
@@ -100,13 +134,22 @@ class DTTA:
         (no tree of ``L(A)`` can contain it — necessary condition only:
         child emptiness is not checked here; use a trimmed automaton to
         make it exact).
+
+        Memoized per automaton: the learner probes the same io-path
+        prefixes once per merge candidate, and each distinct path now
+        walks the transitions once.
         """
-        state = self.initial
+        cached = self._path_cache.get(path, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        state: Optional[State] = self.initial
         for label, index in path:
             children = self.transitions.get((state, label))
             if children is None or not 1 <= index <= len(children):
-                return None
+                state = None
+                break
             state = children[index - 1]
+        self._path_cache[path] = state
         return state
 
     def restricted_alphabet(self) -> RankedAlphabet:

@@ -36,13 +36,14 @@ def mergeable(sample: Sample, domain: DTTA, p1: PathPair, p2: PathPair) -> bool:
     """
     if not same_restricted_domain(domain, p1[0], p2[0]):
         return False
-    map1 = sample.residual_map(p1)
-    map2 = sample.residual_map(p2)
+    map1 = sample.residual_uid_map(p1)
+    map2 = sample.residual_uid_map(p2)
     if map1 is None or map2 is None:
         # A non-functional residual disagrees with itself on some input.
         return False
-    for sub_in, sub_out in map1.items():
-        other = map2.get(sub_in)
-        if other is not None and other != sub_out:
+    # uid-keyed and interned: identity comparison is structural equality.
+    for sub_in_uid, sub_out in map1.items():
+        other = map2.get(sub_in_uid)
+        if other is not None and other is not sub_out:
             return False
     return True

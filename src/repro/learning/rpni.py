@@ -13,6 +13,13 @@ to an OK state otherwise, which materializes its rules from
 ``out_S(u·f)`` and the residual-functionality alignment of Lemma 23.
 Failures raise :class:`~repro.errors.InsufficientSampleError` with a
 description of the missing evidence, rather than guessing.
+
+Performance: every sample quantity the loop re-asks for — residual maps
+in :func:`~repro.learning.merge.mergeable`, io-path membership during
+rule materialization, ``out_S`` along paths — is memoized on the
+:class:`~repro.learning.sample.Sample` (keyed by interned-tree uids), and
+domain-state lookups are memoized on the DTTA, so the quadratic
+border×OK merge scan touches each distinct quantity once.
 """
 
 from __future__ import annotations
@@ -60,7 +67,7 @@ class LearnedDTOP:
 def _subtree_at_labeled(root: Tree, v: Path) -> Optional[Tree]:
     current = root
     for label, index in v:
-        if current.label != label or not 1 <= index <= current.arity:
+        if current.label != label or not 1 <= index <= len(current.children):
             return None
         current = current.children[index - 1]
     return current
@@ -208,8 +215,17 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
                     border.add(target)
             raw_rules[(p, symbol)] = _tree_with_calls(sub, calls)
 
+    order_keys: Dict[PathPair, object] = {}
+
+    def border_key(q: PathPair) -> object:
+        key = order_keys.get(q)
+        if key is None:
+            key = pair_order_key(q)
+            order_keys[q] = key
+        return key
+
     while border:
-        p = min(border, key=pair_order_key)
+        p = min(border, key=border_key)
         border.remove(p)
         candidates = [q for q in ok if mergeable(sample, domain, p, q)]
         if len(candidates) > 1:

@@ -222,7 +222,13 @@ def dumps(obj: Any, indent: int = 2) -> str:
 
 
 def loads(text: str) -> Any:
-    """Deserialize any object produced by :func:`dumps`."""
+    """Deserialize any object produced by :func:`dumps`.
+
+    Trees are rebuilt through the ordinary constructors, so they come
+    back interned: loading the same document twice yields identical
+    (``is``-equal) nodes, and loading a tree that already exists in
+    memory shares its structure.
+    """
     data = json.loads(text)
     if not isinstance(data, dict):
         raise ParseError("expected a JSON object")
@@ -236,3 +242,16 @@ def loads(text: str) -> Any:
     if fmt == FORMAT_SAMPLE:
         return sample_from_data(data)
     raise ParseError(f"unknown format {fmt!r}")
+
+
+def dump(obj: Any, path: str, indent: int = 2) -> None:
+    """Serialize ``obj`` with :func:`dumps` and write it to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(obj, indent=indent))
+        handle.write("\n")
+
+
+def load(path: str) -> Any:
+    """Read a UTF-8 JSON artifact written by :func:`dump` and deserialize it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,11 +1,22 @@
 """The deterministic top-down tree transducer (Definition 1).
 
 A :class:`DTOP` is a tuple ``(Q, F, G, ax, rhs)``.  Evaluation follows the
-recursive definition of ``[[M]]_q`` literally, with memoization on
-``(state, subtree)`` so shared subtrees are translated once.  For outputs
-that are exponentially larger than the input (the paper's monadic-to-full-
-binary example), :meth:`DTOP.apply_dag` evaluates straight into a minimal
-DAG in time linear in the input size.
+recursive definition of ``[[M]]_q`` literally, with **persistent**
+memoization on ``(state, input-node uid)``: because trees are interned
+(:mod:`repro.trees.tree`), a subtree shared between two inputs — or
+between two runs — is recognized by identity and translated once over the
+transducer's lifetime.  The learner's inner loops (RPNI merging,
+equivalence checks, characteristic-sample generation) evaluate the same
+machine on heavily overlapping inputs, which is exactly the access
+pattern this cache serves; :attr:`DTOP.cache_stats` exposes the hit/miss
+counters and :meth:`DTOP.clear_caches` drops the memo.
+
+The cache is sound because a :class:`DTOP` is immutable after
+construction (treat ``rules`` as frozen — mutating it invalidates the
+memo) and tree uids are never reused.  For outputs that are exponentially
+larger than the input (the paper's monadic-to-full-binary example),
+:meth:`DTOP.apply_dag` evaluates straight into a minimal DAG in time
+linear in the input size.
 """
 
 from __future__ import annotations
@@ -38,7 +49,15 @@ class DTOP:
     ``states`` to require extra (possibly unused) states.
     """
 
-    __slots__ = ("input_alphabet", "output_alphabet", "axiom", "rules", "_states")
+    __slots__ = (
+        "input_alphabet",
+        "output_alphabet",
+        "axiom",
+        "rules",
+        "_states",
+        "_memo",
+        "_memo_stats",
+    )
 
     def __init__(
         self,
@@ -72,6 +91,11 @@ class DTOP:
                     )
                 found.add(rule_call.state)
         self._states: FrozenSet[StateName] = frozenset(found)
+        # Persistent run memo: (state, input-node uid) → output tree.
+        # Sound because the transducer and the interned trees are
+        # immutable; uids are never reused.
+        self._memo: Dict[Tuple[StateName, int], Tree] = {}
+        self._memo_stats: Dict[str, int] = {"hits": 0, "misses": 0}
         self._check_output_ranks(axiom)
         for rhs in self.rules.values():
             self._check_output_ranks(rhs)
@@ -115,44 +139,41 @@ class DTOP:
     # Semantics
     # ------------------------------------------------------------------
 
-    def apply_state(self, state: StateName, node: Tree) -> Tree:
-        """``[[M]]_q(s)``; raises when undefined."""
-        memo: Dict[Tuple[StateName, Tree], Tree] = {}
-        return self._eval(state, node, memo)
+    def eval_state(self, state: StateName, node: Tree) -> Tree:
+        """``[[M]]_q(s)`` through the persistent memo; raises when undefined.
 
-    def _eval(
-        self,
-        state: StateName,
-        node: Tree,
-        memo: Dict[Tuple[StateName, Tree], Tree],
-    ) -> Tree:
-        key = (state, node)
-        cached = memo.get(key)
+        Results are cached for the lifetime of the transducer, keyed by
+        ``(q, s.uid)`` — repeated evaluation on shared subtrees (across
+        *different* top-level calls) is O(1).  Failures are not cached.
+        """
+        key = (state, node.uid)
+        cached = self._memo.get(key)
         if cached is not None:
+            self._memo_stats["hits"] += 1
             return cached
+        self._memo_stats["misses"] += 1
         rhs = self.rules.get((state, node.label))
         if rhs is None:
             raise UndefinedTransductionError(
                 f"no rule for state {state!r} on symbol {node.label!r}"
             )
-        result = self._instantiate(rhs, node, memo)
-        memo[key] = result
+        result = self._instantiate(rhs, node)
+        self._memo[key] = result
         return result
 
-    def _instantiate(
-        self,
-        rhs: Tree,
-        node: Tree,
-        memo: Dict[Tuple[StateName, Tree], Tree],
-    ) -> Tree:
+    def apply_state(self, state: StateName, node: Tree) -> Tree:
+        """``[[M]]_q(s)``; raises when undefined.  Alias of :meth:`eval_state`."""
+        return self.eval_state(state, node)
+
+    def _instantiate(self, rhs: Tree, node: Tree) -> Tree:
         label = rhs.label
         if isinstance(label, Call):
-            return self._eval(label.state, node.children[label.var - 1], memo)
+            return self.eval_state(label.state, node.children[label.var - 1])
         if rhs.is_leaf:
             return rhs
         return Tree(
             label,
-            tuple(self._instantiate(child, node, memo) for child in rhs.children),
+            tuple(self._instantiate(child, node) for child in rhs.children),
         )
 
     def apply(self, node: Tree) -> Tree:
@@ -160,21 +181,33 @@ class DTOP:
 
         Raises :class:`UndefinedTransductionError` outside the domain.
         """
-        memo: Dict[Tuple[StateName, Tree], Tree] = {}
-        return self._instantiate_axiom(self.axiom, node, memo)
+        return self._instantiate_axiom(self.axiom, node)
 
-    def _instantiate_axiom(
-        self, part: Tree, node: Tree, memo: Dict[Tuple[StateName, Tree], Tree]
-    ) -> Tree:
+    def _instantiate_axiom(self, part: Tree, node: Tree) -> Tree:
         label = part.label
         if isinstance(label, Call):
-            return self._eval(label.state, node, memo)
+            return self.eval_state(label.state, node)
         if part.is_leaf:
             return part
         return Tree(
             label,
-            tuple(self._instantiate_axiom(c, node, memo) for c in part.children),
+            tuple(self._instantiate_axiom(c, node) for c in part.children),
         )
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Persistent-memo counters: ``hits``, ``misses``, ``entries``."""
+        return {**self._memo_stats, "entries": len(self._memo)}
+
+    def clear_caches(self) -> None:
+        """Drop the persistent run memo and zero its counters.
+
+        Only needed to release memory (long-lived transducers applied to
+        many unrelated inputs) — never for correctness.
+        """
+        self._memo.clear()
+        self._memo_stats["hits"] = 0
+        self._memo_stats["misses"] = 0
 
     def try_apply(self, node: Tree) -> Optional[Tree]:
         """``[[M]](s)`` or ``None`` when the input is outside the domain."""
@@ -215,7 +248,7 @@ class DTOP:
         memo: Dict[Tuple[StateName, int], DagNode] = {}
 
         def eval_state(state: StateName, current: Tree) -> DagNode:
-            key = (state, id(current))
+            key = (state, current.uid)
             cached = memo.get(key)
             if cached is not None:
                 return cached
@@ -251,7 +284,11 @@ class DTOP:
     # ------------------------------------------------------------------
 
     def rename(self, mapping: Mapping[StateName, StateName]) -> "DTOP":
-        """Isomorphic copy with states renamed by ``mapping``."""
+        """Isomorphic copy with states renamed by ``mapping``.
+
+        Renaming cannot invalidate a well-formed machine, so the copy is
+        built directly (no re-validation) with a fresh run memo.
+        """
 
         def rename_tree(node: Tree) -> Tree:
             label = node.label
@@ -259,15 +296,18 @@ class DTOP:
                 return Tree(Call(mapping.get(label.state, label.state), label.var), ())
             return Tree(label, tuple(rename_tree(c) for c in node.children))
 
-        return DTOP(
-            self.input_alphabet,
-            self.output_alphabet,
-            rename_tree(self.axiom),
-            {
-                (mapping.get(q, q), f): rename_tree(rhs)
-                for (q, f), rhs in self.rules.items()
-            },
-        )
+        clone: DTOP = object.__new__(DTOP)
+        clone.input_alphabet = self.input_alphabet
+        clone.output_alphabet = self.output_alphabet
+        clone.axiom = rename_tree(self.axiom)
+        clone.rules = {
+            (mapping.get(q, q), f): rename_tree(rhs)
+            for (q, f), rhs in self.rules.items()
+        }
+        clone._states = frozenset(mapping.get(q, q) for q in self._states)
+        clone._memo = {}
+        clone._memo_stats = {"hits": 0, "misses": 0}
+        return clone
 
     def __repr__(self) -> str:
         return (

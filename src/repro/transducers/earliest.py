@@ -117,6 +117,10 @@ def out_table(transducer: DTOP, domain: Optional[DTTA] = None) -> Dict[Pair, Tre
     table: Dict[Pair, Tree] = {
         (q, d): transducer.apply_state(q, witnesses[d]) for q, d in pairs
     }
+    # Each Kleene iteration recomputes ⊔ over largely unchanged candidate
+    # sets; the memoized lcp (repro.trees.lcp) turns those repeats into
+    # cache hits, and interning turns the convergence test into an
+    # identity check.
     changed = True
     while changed:
         changed = False
@@ -127,7 +131,7 @@ def out_table(transducer: DTOP, domain: Optional[DTTA] = None) -> Dict[Pair, Tre
                 rhs = transducer.rules[(q, symbol)]
                 candidates.append(_subst_calls(rhs, children, table))
             updated = lcp_many(candidates)
-            if updated != table[(q, d)]:
+            if updated is not table[(q, d)]:
                 table[(q, d)] = updated
                 changed = True
     return table

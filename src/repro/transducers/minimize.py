@@ -85,6 +85,9 @@ def _document_order_rename(dtop: DTOP, prefix: str = "q") -> Tuple[DTOP, Dict[St
     """
     order: Dict[StateName, StateName] = {}
     queue: List[StateName] = []
+    by_state: Dict[StateName, List[Tuple[Symbol, Tree]]] = {}
+    for (q, f), rhs in dtop.rules.items():
+        by_state.setdefault(q, []).append((f, rhs))
 
     def visit_tree(node: Tree) -> None:
         if isinstance(node.label, Call):
@@ -101,10 +104,8 @@ def _document_order_rename(dtop: DTOP, prefix: str = "q") -> Tuple[DTOP, Dict[St
     while index < len(queue):
         state = queue[index]
         index += 1
-        for symbol in sorted(
-            {f for (q, f) in dtop.rules if q == state}, key=str
-        ):
-            visit_tree(dtop.rules[(state, symbol)])
+        for _, rhs in sorted(by_state.get(state, ()), key=lambda fr: str(fr[0])):
+            visit_tree(rhs)
     # States unreachable from the axiom (none, normally) keep a stable name.
     for state in sorted(dtop.states - set(order), key=str):
         order[state] = f"{prefix}{len(order)}"
@@ -131,6 +132,11 @@ def _merge_equivalent(
     form this computes exact semantic equivalence of states.
     """
     states = sorted(earliest.states, key=str)
+    rules_of: Dict[StateName, List[Tuple[Symbol, Tree]]] = {q: [] for q in states}
+    for (q, f), rhs in earliest.rules.items():
+        rules_of[q].append((f, rhs))
+    for entries in rules_of.values():
+        entries.sort(key=lambda fr: str(fr[0]))
     block: Dict[StateName, int] = {}
     key_to_block: Dict[object, int] = {}
     for state in states:
@@ -142,12 +148,9 @@ def _merge_equivalent(
         key_to_block = {}
         new_block: Dict[StateName, int] = {}
         for state in states:
-            symbols = sorted(
-                {f for (q, f) in earliest.rules if q == state}, key=str
-            )
             signature = tuple(
-                (symbol, _skeleton(earliest.rules[(state, symbol)], block))
-                for symbol in symbols
+                (symbol, _skeleton(rhs, block))
+                for symbol, rhs in rules_of[state]
             )
             key = (block[state], signature)
             if key not in key_to_block:

@@ -7,6 +7,12 @@ leaves in the result are exactly the output paths paired with ``u`` by
 io-paths.  We implement the stopped run directly, without materializing
 ``M_x``: the computation proceeds along the path ``u`` only, which is all
 that Definition 3 needs.
+
+Every off-path subtree is translated through the transducer's persistent
+``(state, node-uid)`` memo (:meth:`repro.transducers.dtop.DTOP.eval_state`),
+so a batch of stopped runs on the same input — the characteristic-sample
+construction and the io-path enumeration fire thousands of them — pays
+for each off-path translation once.
 """
 
 from __future__ import annotations
@@ -69,7 +75,8 @@ def run_stopped(transducer: DTOP, input_tree: Tree, u: Path) -> Tree:
             child = node.children[head.var - 1]
             if head.var == index:
                 return eval_along(head.state, child, rest)
-            return transducer.apply_state(head.state, child)
+            # Off-path: a full translation, served by the persistent memo.
+            return transducer.eval_state(head.state, child)
         return Tree(
             head,
             tuple(instantiate(c, node, index, rest) for c in rhs.children),

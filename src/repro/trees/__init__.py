@@ -5,10 +5,25 @@ ranked trees exactly as in Section 2 of the paper, the labeled-path
 machinery (``F``-paths and npaths), the largest-common-prefix operator
 ``⊔`` with the special symbol ``⊥``, and the minimal-DAG representation the
 paper recommends for exponential outputs.
+
+Trees are globally **hash-consed** (see :mod:`repro.trees.tree`):
+structurally equal trees are the same object, equality is O(1), every
+node has a stable never-reused ``uid``, and the binary ``⊔`` is memoized
+on uid pairs.  The one obligation this places on callers: never mutate a
+node or a label object stored in one.
 """
 
 from repro.trees.alphabet import RankedAlphabet
-from repro.trees.tree import Tree, tree, leaf, parse_term, format_term
+from repro.trees.tree import (
+    Tree,
+    tree,
+    leaf,
+    parse_term,
+    format_term,
+    intern_stats,
+    interned_count,
+    reset_intern_stats,
+)
 from repro.trees.paths import (
     Step,
     path_to_nodes,
@@ -23,7 +38,16 @@ from repro.trees.paths import (
     pair_order_key,
     parent_npath,
 )
-from repro.trees.lcp import BOTTOM, is_bottom, lcp, lcp_many, bottom_positions, is_prefix_of
+from repro.trees.lcp import (
+    BOTTOM,
+    is_bottom,
+    lcp,
+    lcp_many,
+    bottom_positions,
+    is_prefix_of,
+    lcp_cache_stats,
+    clear_lcp_cache,
+)
 from repro.trees.substitution import (
     substitute_leaves,
     replace_at_node,
@@ -39,6 +63,9 @@ __all__ = [
     "leaf",
     "parse_term",
     "format_term",
+    "intern_stats",
+    "interned_count",
+    "reset_intern_stats",
     "Step",
     "path_to_nodes",
     "node_to_path",
@@ -57,6 +84,8 @@ __all__ = [
     "lcp_many",
     "bottom_positions",
     "is_prefix_of",
+    "lcp_cache_stats",
+    "clear_lcp_cache",
     "substitute_leaves",
     "replace_at_node",
     "replace_at_path",

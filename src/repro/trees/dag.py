@@ -9,11 +9,24 @@ possible: structurally equal subtrees are shared, so repeated subtrees cost
 one node.  :meth:`repro.transducers.dtop.DTOP.apply_dag` evaluates a
 transducer directly into a :class:`Dag` without ever materializing the
 output tree.
+
+Relation to :class:`~repro.trees.tree.Tree` interning: ``Tree`` itself is
+now globally hash-consed, so every in-memory tree *is already* its own
+minimal DAG — ``dag_to_tree`` costs only the pointers.  :class:`Dag`
+remains the explicit, pool-scoped representation: its dense integer uids
+(``0 … len(pool)-1``) index per-pool arrays, its nodes never hold the
+whole program's intern table alive, and :meth:`Dag.make` accepts labels at
+any arity without the output-alphabet checks a transducer run needs.  The
+two representations convert losslessly (:meth:`Dag.add_tree`,
+:func:`dag_to_tree`); :meth:`Dag.add_tree` is memoized on the stable
+``Tree.uid``, so re-adding shared subtrees is O(1) per node.
+
+Like tree interning, a :class:`Dag` assumes its nodes are never mutated.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.trees.tree import Label, Tree
 
@@ -46,6 +59,11 @@ class Dag:
     def __init__(self) -> None:
         self._pool: Dict[Tuple[Label, Tuple[int, ...]], DagNode] = {}
         self._nodes: List[DagNode] = []
+        # Tree.uid → DagNode, so repeated add_tree calls on overlapping
+        # trees (and shared subtrees within one tree) intern each distinct
+        # subtree exactly once.  Tree uids are never reused, so entries
+        # can never alias a different tree.
+        self._tree_memo: Dict[int, DagNode] = {}
 
     def make(self, label: Label, children: Sequence[DagNode] = ()) -> DagNode:
         """Intern and return the node ``label(children…)``."""
@@ -59,22 +77,34 @@ class Dag:
         return node
 
     def add_tree(self, root: Tree) -> DagNode:
-        """Intern a whole tree bottom-up; returns its DAG root."""
+        """Intern a whole tree bottom-up; returns its DAG root.
+
+        Memoized on :attr:`Tree.uid` across calls: only subtrees this pool
+        has never seen are traversed.
+        """
+        memo = self._tree_memo
+        cached = memo.get(root.uid)
+        if cached is not None:
+            return cached
         # Iterative post-order to avoid recursion limits on deep trees.
-        result: Dict[int, DagNode] = {}
         stack: List[Tuple[Tree, bool]] = [(root, False)]
         while stack:
             node, expanded = stack.pop()
-            if id(node) in result:
+            if node.uid in memo:
                 continue
             if expanded:
-                children = tuple(result[id(c)] for c in node.children)
-                result[id(node)] = self.make(node.label, children)
+                children = tuple(memo[c.uid] for c in node.children)
+                memo[node.uid] = self.make(node.label, children)
             else:
                 stack.append((node, True))
                 for child in node.children:
-                    stack.append((child, False))
-        return result[id(root)]
+                    if child.uid not in memo:
+                        stack.append((child, False))
+        return memo[root.uid]
+
+    def add_forest(self, roots: Iterable[Tree]) -> List[DagNode]:
+        """Intern several trees into one shared pool (order preserved)."""
+        return [self.add_tree(root) for root in roots]
 
     def __len__(self) -> int:
         """Total number of distinct nodes interned in the pool."""

@@ -8,14 +8,41 @@ Section 3 of the paper defines, for trees ``t, t'``::
 ``⊔`` is associative, commutative, and idempotent, so it extends to sets.
 ``⊥`` marks the positions where the compared trees disagree; those
 positions are exactly where an earliest transducer places its state calls.
+
+Because trees are interned (:mod:`repro.trees.tree`), the binary ``⊔`` is
+memoized globally on the pair of node uids: the earliest-normal-form
+fixpoint (:mod:`repro.transducers.earliest`) and the sample operator
+``out_S`` (:mod:`repro.learning.sample`) recompute LCPs of the same
+subtree pairs over and over, and each distinct pair is now computed once.
+The cache is capped (wholesale clear on overflow) so long-running
+processes do not grow without bound; :func:`lcp_cache_stats` exposes
+hit/miss counters.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.errors import TreeError
 from repro.trees.tree import Tree
+
+#: Memo for the binary ``⊔``, keyed by the (sorted) uid pair.  uids are
+#: never reused, so stale entries are merely unreachable, never wrong.
+_LCP_CACHE: Dict[Tuple[int, int], Tree] = {}
+_LCP_CACHE_LIMIT = 1 << 18
+_LCP_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def lcp_cache_stats() -> Dict[str, int]:
+    """Counters of the ``⊔`` memo cache: ``hits``, ``misses``, ``entries``."""
+    return {**_LCP_STATS, "entries": len(_LCP_CACHE)}
+
+
+def clear_lcp_cache() -> None:
+    """Drop all memoized ``⊔`` results and zero the counters."""
+    _LCP_CACHE.clear()
+    _LCP_STATS["hits"] = 0
+    _LCP_STATS["misses"] = 0
 
 
 class _BottomSymbol:
@@ -47,21 +74,35 @@ def is_bottom(node: Tree) -> bool:
 
 
 def lcp(left: Tree, right: Tree) -> Tree:
-    """Binary largest common prefix ``t ⊔ t'`` (Section 3).
+    """Binary largest common prefix ``t ⊔ t'`` (Section 3), memoized.
 
     ``⊥`` behaves as the least element: ``⊥ ⊔ t = ⊥`` because the labels
     differ — exactly the paper's definition, no special case needed.
+
+    Interning makes ``left is right`` the complete equality test, and the
+    (commutative) result is memoized on the uid pair, so repeated ``⊔``
+    over shared substructure costs one dictionary lookup.
     """
     if left is right:
         return left
-    if left.label != right.label or left.arity != right.arity:
+    if left.label != right.label or len(left.children) != len(right.children):
         return BOTTOM
-    if left == right:
-        return left
-    children = tuple(
-        lcp(a, b) for a, b in zip(left.children, right.children)
+    key = (
+        (left.uid, right.uid) if left.uid < right.uid else (right.uid, left.uid)
     )
-    return Tree(left.label, children)
+    cached = _LCP_CACHE.get(key)
+    if cached is not None:
+        _LCP_STATS["hits"] += 1
+        return cached
+    _LCP_STATS["misses"] += 1
+    result = Tree(
+        left.label,
+        [lcp(a, b) for a, b in zip(left.children, right.children)],
+    )
+    if len(_LCP_CACHE) >= _LCP_CACHE_LIMIT:
+        _LCP_CACHE.clear()
+    _LCP_CACHE[key] = result
+    return result
 
 
 def lcp_many(trees: Iterable[Tree]) -> Tree:
@@ -92,7 +133,7 @@ def bottom_positions(node: Tree) -> Iterator[Tuple[int, ...]]:
         if is_bottom(current):
             out.append(address)
             continue
-        for i in range(current.arity, 0, -1):
+        for i in range(len(current.children), 0, -1):
             stack.append((address + (i,), current.children[i - 1]))
     return iter(sorted(out))
 
@@ -101,7 +142,7 @@ def is_prefix_of(prefix: Tree, full: Tree) -> bool:
     """True iff ``prefix ⊑ full``: equal except ``⊥`` may stand for anything."""
     if is_bottom(prefix):
         return True
-    if prefix.label != full.label or prefix.arity != full.arity:
+    if prefix.label != full.label or len(prefix.children) != len(full.children):
         return False
     return all(
         is_prefix_of(a, b) for a, b in zip(prefix.children, full.children)

@@ -50,7 +50,7 @@ def belongs(path: Path, root: Tree) -> bool:
     """The paper's ``u =| s``: does the labeled path belong to the tree?"""
     current = root
     for label, index in path:
-        if current.label != label or not 1 <= index <= current.arity:
+        if current.label != label or not 1 <= index <= len(current.children):
             return False
         current = current.children[index - 1]
     return True
@@ -61,7 +61,7 @@ def npath_belongs(npath: NPath, root: Tree) -> bool:
     path, label = npath
     current = root
     for step_label, index in path:
-        if current.label != step_label or not 1 <= index <= current.arity:
+        if current.label != step_label or not 1 <= index <= len(current.children):
             return False
         current = current.children[index - 1]
     return current.label == label
@@ -100,7 +100,7 @@ def try_subtree_at_path(root: Tree, path: Path) -> Optional[Tree]:
     """Like :func:`subtree_at_path` but returns ``None`` when ``u`` ∌ ``s``."""
     current = root
     for label, index in path:
-        if current.label != label or not 1 <= index <= current.arity:
+        if current.label != label or not 1 <= index <= len(current.children):
             return None
         current = current.children[index - 1]
     return current

@@ -1,10 +1,40 @@
-"""Immutable ordered ranked trees and a term syntax for them.
+"""Hash-consed immutable ordered ranked trees and a term syntax for them.
 
 Trees are the ground terms of Section 2: a label together with an ordered
 tuple of child trees.  Labels are arbitrary hashable objects — plain
 strings for input/output symbols, but also the ``⊥`` sentinel of
 :mod:`repro.trees.lcp` and the state calls ``⟨q, x_i⟩`` used in transducer
 right-hand sides (:mod:`repro.transducers.rhs`).
+
+Interning (hash-consing)
+------------------------
+
+Every :class:`Tree` is *interned*: constructing a tree that is structurally
+equal to one that already exists returns the **same object**.  The global
+intern table is a weak-value dictionary, so trees are reclaimed as soon as
+no client references them.  Consequences that the rest of the code base
+relies on:
+
+* **O(1) equality** — two live trees are structurally equal iff they are
+  the same object, so ``==`` degenerates to an identity check;
+* **stable node ids** — every distinct tree carries a monotonically
+  increasing :attr:`Tree.uid` that is never reused, safe to use as a memo
+  key even after the tree is garbage-collected (unlike ``id()``);
+* **maximal structural sharing** — repeated subtrees exist once in memory;
+  a full binary tree with ``2^n - 1`` nodes built bottom-up from shared
+  halves allocates only ``n`` objects.
+
+The non-negotiable caveat: **never mutate a node** (labels included — a
+mutable-but-hashable label object must not be changed after use).  Mutation
+would corrupt every structurally equal tree in the program at once.
+:class:`Tree` enforces immutability of its own attributes by raising
+:class:`~repro.errors.TreeError` from ``__setattr__``.
+
+Interning statistics are exposed through :func:`intern_stats` /
+:func:`reset_intern_stats`; :func:`interned_count` reports the number of
+live distinct trees.  The table assumes single-threaded construction (or
+an external lock): it is exactly as thread-safe as a plain dict under the
+CPython GIL.
 
 The term syntax is the paper's: ``f(a, g(b, c))``; a one-node tree ``f()``
 may be written ``f``.  Labels may be quoted with double quotes so that the
@@ -13,45 +43,134 @@ DTD-encoding labels such as ``"(a*,b*)"`` round-trip.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterator, List, Sequence, Tuple
+import itertools
+import weakref
+from typing import Callable, Dict, Hashable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ParseError, TreeError
 
 Label = Hashable
 
+#: Global intern table: (label, children) → weakref to the unique live
+#: Tree.  Weak references let unused trees be reclaimed; the death
+#: callback removes the entry.  A raw dict of keyed refs (the pattern
+#: WeakValueDictionary implements) keeps the hot construction path free
+#: of extra Python frames.
+_INTERN: Dict[Tuple[Label, Tuple["Tree", ...]], "_InternRef"] = {}
+
+_UID = itertools.count(1)
+
+_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def _forget(ref: "_InternRef") -> None:
+    # A dead ref may already have been replaced by a re-interned tree;
+    # only drop the entry if it is still ours.
+    if _INTERN.get(ref.key) is ref:
+        del _INTERN[ref.key]
+
+
+class _InternRef(weakref.ref):
+    """A weak reference remembering its intern-table key."""
+
+    __slots__ = ("key",)
+
+    def __new__(cls, tree: "Tree", key: Tuple[Label, Tuple["Tree", ...]]):
+        self = weakref.ref.__new__(cls, tree, _forget)
+        self.key = key
+        return self
+
+    def __init__(self, tree: "Tree", key: Tuple[Label, Tuple["Tree", ...]]):
+        super().__init__(tree, _forget)
+
+
+def intern_stats() -> Dict[str, int]:
+    """Counters of the global intern table: ``hits``, ``misses``, ``live``.
+
+    A *hit* is a :class:`Tree` construction that returned an existing
+    object; a *miss* allocated a new node.  ``live`` is the current number
+    of distinct trees (equals :func:`interned_count`).
+    """
+    return {**_STATS, "live": len(_INTERN)}
+
+
+def reset_intern_stats() -> None:
+    """Zero the hit/miss counters (the table itself is untouched)."""
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def interned_count() -> int:
+    """Number of distinct live trees in the intern table."""
+    return len(_INTERN)
+
 
 class Tree:
-    """An immutable ordered tree with a hashable label.
+    """An interned immutable ordered tree with a hashable label.
 
-    Structural equality and hashing are precomputed bottom-up, so trees can
-    be used freely as dictionary keys (the learning algorithm does this
-    heavily for residuals and memoized evaluation).
+    Construction goes through the global intern table, so structurally
+    equal trees **are** the same object::
+
+        >>> Tree("f", (Tree("a"), Tree("a"))) is Tree("f", (Tree("a"), Tree("a")))
+        True
+
+    Equality and hashing are therefore O(1); size and height are computed
+    once per distinct node.  Trees can be used freely as dictionary keys
+    (the learning algorithm does this heavily for residuals and memoized
+    evaluation) and as memo-cache keys via the never-reused :attr:`uid`.
+
+    Never mutate a node or its label object — see the module docstring.
     """
 
-    __slots__ = ("label", "children", "_hash", "_size", "_height")
+    __slots__ = ("label", "children", "uid", "_hash", "_size", "_height", "__weakref__")
 
     label: Label
     children: Tuple["Tree", ...]
+    #: Unique id of this structural value; monotonic, never reused.
+    uid: int
 
-    def __init__(self, label: Label, children: Sequence["Tree"] = ()):
+    def __new__(cls, label: Label, children: Sequence["Tree"] = ()):
         children = tuple(children)
         for child in children:
             if not isinstance(child, Tree):
                 raise TreeError(f"child {child!r} is not a Tree")
+        key = (label, children)
+        try:
+            ref = _INTERN.get(key)
+        except TypeError:
+            raise TreeError(f"label {label!r} is not hashable") from None
+        if ref is not None:
+            cached = ref()
+            if cached is not None:
+                _STATS["hits"] += 1
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "children", children)
-        object.__setattr__(self, "_hash", hash((label, children)))
-        object.__setattr__(
-            self, "_size", 1 + sum(c._size for c in children)
-        )
+        object.__setattr__(self, "uid", next(_UID))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_size", 1 + sum(c._size for c in children))
         object.__setattr__(
             self,
             "_height",
             1 + max((c._height for c in children), default=0),
         )
+        _STATS["misses"] += 1
+        _INTERN[key] = _InternRef(self, key)
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise TreeError("Tree instances are immutable")
+
+    def __reduce__(self):
+        # Re-interns on unpickling; also makes copy/deepcopy structural.
+        return (Tree, (self.label, self.children))
+
+    def __copy__(self) -> "Tree":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Tree":
+        return self
 
     @property
     def arity(self) -> int:
@@ -73,6 +192,9 @@ class Tree:
         return not self.children
 
     def __eq__(self, other: object) -> bool:
+        # Interning makes identity the common case; the structural
+        # fallback only matters for exotic label types where hash-equal
+        # keys compare unequal in the weak table race-free path.
         if self is other:
             return True
         if not isinstance(other, Tree):
@@ -129,8 +251,21 @@ class Tree:
             yield node.label
 
     def map_labels(self, fn: Callable[[Label], Label]) -> "Tree":
-        """Return a copy with every label replaced by ``fn(label)``."""
-        return Tree(fn(self.label), tuple(c.map_labels(fn) for c in self.children))
+        """Return the tree with every label replaced by ``fn(label)``.
+
+        Shared subtrees are relabeled once (memoized on :attr:`uid`).
+        """
+        memo: Dict[int, Tree] = {}
+
+        def visit(node: Tree) -> Tree:
+            cached = memo.get(node.uid)
+            if cached is not None:
+                return cached
+            result = Tree(fn(node.label), tuple(visit(c) for c in node.children))
+            memo[node.uid] = result
+            return result
+
+        return visit(self)
 
 
 def tree(label: Label, *children: Tree) -> Tree:

@@ -1,0 +1,1 @@
+"""Test package (keeps basenames unique for pytest collection)."""

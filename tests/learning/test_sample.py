@@ -116,3 +116,42 @@ class TestIoPaths:
         """The 4 io-path representatives listed in the Introduction."""
         assert flip_sample.is_io_path(((("root", 2),), (("root", 1),)))
         assert flip_sample.is_io_path(((("root", 1),), (("root", 2),)))
+
+
+class TestOutWithUnrankedLabels:
+    """out_S must stay exact when a label occurs at several arities.
+
+    The npath-sharing optimization (out_S(u·(f,i)) computed once per
+    u·f) only applies when every pair with an f-node at u contains the
+    queried child index; these samples violate rankedness on purpose.
+    """
+
+    def test_out_respects_child_index(self):
+        sample = Sample(
+            [
+                (parse_term("r(f(a))"), parse_term("x")),
+                (parse_term("r(f(a, b))"), parse_term("y")),
+            ]
+        )
+        # Only the second input contains the path (f, 2).
+        assert sample.out((("r", 1), ("f", 2))) == parse_term("y")
+
+    def test_out_is_order_independent(self):
+        u = (("r", 1), ("f", 2))
+        forward = Sample(
+            [
+                (parse_term("r(f(a))"), parse_term("x")),
+                (parse_term("r(f(a, b))"), parse_term("y")),
+            ]
+        )
+        backward = Sample(
+            [
+                (parse_term("r(f(a, b))"), parse_term("y")),
+                (parse_term("r(f(a))"), parse_term("x")),
+            ]
+        )
+        assert forward.out(u) == backward.out(u) == parse_term("y")
+
+    def test_out_none_when_index_absent_everywhere(self):
+        sample = Sample([(parse_term("r(f(a))"), parse_term("x"))])
+        assert sample.out((("r", 1), ("f", 2))) is None

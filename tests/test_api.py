@@ -1,0 +1,94 @@
+"""Tests for the repro.api facade."""
+
+import pytest
+
+from repro import api
+from repro.errors import UndefinedTransductionError
+from repro.learning.rpni import LearnedDTOP
+from repro.transducers.dtop import DTOP
+from repro.transducers.minimize import CanonicalDTOP
+from repro.trees.tree import Tree, parse_term
+
+FLIP_EXAMPLES = [
+    ("a", "a"),
+    ("b", "b"),
+    ("f(a, a)", "f(a, a)"),
+    ("f(a, b)", "f(b, a)"),
+    ("f(b, a)", "f(a, b)"),
+    ("f(f(a, b), f(b, a))", "f(f(a, b), f(b, a))"),
+]
+
+
+class TestLearnRun:
+    def test_learn_from_strings_and_run(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        assert isinstance(learned, LearnedDTOP)
+        assert api.run(learned, "f(b, a)") == parse_term("f(a, b)")
+
+    def test_learn_generalizes_beyond_examples(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        # The README's unseen input: deep recursive flip.
+        assert api.run(learned, "f(f(a, a), b)") == parse_term("f(b, f(a, a))")
+
+    def test_learn_accepts_tree_objects(self):
+        pairs = [(parse_term(s), parse_term(t)) for s, t in FLIP_EXAMPLES]
+        learned = api.learn(pairs)
+        assert api.run(learned, parse_term("f(a, b)")) == parse_term("f(b, a)")
+
+    def test_run_outside_domain_raises(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        with pytest.raises(UndefinedTransductionError):
+            api.run(learned, "g(a)")
+
+    def test_parse_tree_passthrough(self):
+        node = parse_term("f(a, b)")
+        assert api.parse_tree(node) is node
+        assert api.parse_tree("f(a, b)") is node
+
+
+class TestMinimizeEquivalent:
+    def test_minimize_returns_canonical(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        canonical = api.minimize(learned)
+        assert isinstance(canonical, CanonicalDTOP)
+        assert canonical.num_states >= 1
+
+    def test_equivalent_accepts_wrappers(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        canonical = api.minimize(learned)
+        assert api.equivalent(learned, canonical)
+        assert api.equivalent(learned.dtop, canonical.dtop)
+
+
+class TestSerializationRoundTrips:
+    def test_tree_roundtrip(self):
+        node = parse_term("f(a, g(b))")
+        assert api.deserialize(api.serialize(node)) is node
+
+    def test_transducer_roundtrip(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        restored = api.deserialize(api.serialize(learned))
+        assert isinstance(restored, DTOP)
+        assert restored.apply(parse_term("f(a, b)")) == parse_term("f(b, a)")
+
+    def test_save_and_load(self, tmp_path):
+        learned = api.learn(FLIP_EXAMPLES)
+        path = str(tmp_path / "flip.json")
+        api.save(learned, path)
+        restored = api.load(path)
+        assert isinstance(restored, DTOP)
+        for s, t in FLIP_EXAMPLES:
+            assert restored.apply(parse_term(s)) == parse_term(t)
+
+
+class TestCacheManagement:
+    def test_cache_stats_shape(self):
+        stats = api.cache_stats()
+        assert set(stats) == {"intern", "lcp"}
+        for counters in stats.values():
+            assert "hits" in counters and "misses" in counters
+
+    def test_clear_caches_runs(self):
+        Tree("f", (Tree("a", ()), Tree("a", ())))
+        api.clear_caches()
+        assert api.cache_stats()["lcp"]["entries"] == 0

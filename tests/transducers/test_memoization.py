@@ -1,0 +1,108 @@
+"""Memoized transducer evaluation: equivalence with cold runs + counters."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.generate import random_tree
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import rhs_tree
+from repro.transducers.run import run_stopped
+from repro.trees.paths import node_to_path
+
+from tests.conftest import BINARY_ALPHABET, trees_over
+
+
+def flip_transducer() -> DTOP:
+    """The classic child-swapping DTOP over the binary alphabet."""
+    return DTOP(
+        BINARY_ALPHABET,
+        BINARY_ALPHABET,
+        rhs_tree(("q", 0)),
+        {
+            ("q", "f"): rhs_tree(("f", ("q", 2), ("q", 1))),
+            ("q", "g"): rhs_tree(("g", ("q", 1))),
+            ("q", "a"): rhs_tree("a"),
+            ("q", "b"): rhs_tree("b"),
+        },
+    )
+
+
+def fresh_clone(transducer: DTOP) -> DTOP:
+    """A structurally identical transducer with a cold memo."""
+    return DTOP(
+        transducer.input_alphabet,
+        transducer.output_alphabet,
+        transducer.axiom,
+        transducer.rules,
+    )
+
+
+class TestMemoizedEqualsUnmemoized:
+    @given(trees_over(BINARY_ALPHABET))
+    @settings(max_examples=120)
+    def test_memoized_run_equals_cold_run(self, s):
+        warm = flip_transducer()
+        warm.apply(s)           # populate the memo
+        again = warm.apply(s)   # fully served from cache
+        cold = fresh_clone(warm).apply(s)
+        assert again is cold
+
+    def test_random_trees_batch(self):
+        rng = random.Random(20260728)
+        warm = flip_transducer()
+        inputs = [
+            random_tree(BINARY_ALPHABET, 8, rng) for _ in range(60)
+        ]
+        warm_results = [warm.apply(s) for s in inputs]
+        cold_results = [fresh_clone(warm).apply(s) for s in inputs]
+        assert warm_results == cold_results
+
+    @given(trees_over(BINARY_ALPHABET))
+    @settings(max_examples=60)
+    def test_stopped_runs_unaffected_by_memo_state(self, s):
+        warm = flip_transducer()
+        warm.apply(s)
+        cold = fresh_clone(warm)
+        for address, _ in s.subtrees():
+            u = node_to_path(s, address)
+            assert run_stopped(warm, s, u) == run_stopped(cold, s, u)
+
+
+class TestCacheCounters:
+    def test_repeat_apply_hits_cache(self):
+        m = flip_transducer()
+        s = Tree("f", (Tree("g", (Tree("a", ()),)), Tree("b", ())))
+        m.apply(s)
+        after_first = m.cache_stats
+        assert after_first["misses"] > 0
+        assert after_first["entries"] == after_first["misses"]
+        m.apply(s)
+        after_second = m.cache_stats
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] > after_first["hits"]
+
+    def test_shared_subtrees_translated_once(self):
+        m = flip_transducer()
+        shared = Tree("g", (Tree("a", ()),))
+        s = Tree("f", (shared, shared))
+        m.apply(s)
+        # Nodes: f, shared g(a) (once!), a — three distinct (state, uid) pairs.
+        assert m.cache_stats["misses"] == 3
+
+    def test_clear_caches_resets(self):
+        m = flip_transducer()
+        m.apply(Tree("a", ()))
+        assert m.cache_stats["entries"] > 0
+        m.clear_caches()
+        assert m.cache_stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_memo_persists_across_inputs(self):
+        m = flip_transducer()
+        sub = Tree("g", (Tree("b", ()),))
+        m.apply(Tree("f", (sub, Tree("a", ()))))
+        misses_before = m.cache_stats["misses"]
+        m.apply(Tree("f", (Tree("a", ()), sub)))  # sub already translated
+        assert m.cache_stats["misses"] == misses_before + 1  # only the new root

@@ -1,0 +1,134 @@
+"""Tests for the hash-consed (interned) Tree core."""
+
+import copy
+import gc
+import pickle
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TreeError
+from repro.trees.tree import (
+    Tree,
+    intern_stats,
+    interned_count,
+    leaf,
+    parse_term,
+    reset_intern_stats,
+    tree,
+)
+
+from tests.conftest import BINARY_ALPHABET, trees_over
+
+
+class TestInterning:
+    def test_identical_construction_returns_same_object(self):
+        kids = (leaf("a"), leaf("b"))
+        assert Tree("f", kids) is Tree("f", kids)
+
+    def test_structurally_equal_construction_is_identity(self):
+        assert parse_term("f(a, g(b))") is parse_term("f(a, g(b))")
+
+    def test_distinct_trees_are_distinct_objects(self):
+        assert parse_term("f(a, b)") is not parse_term("f(b, a)")
+
+    def test_subtrees_are_shared(self):
+        outer = parse_term("f(g(a), g(a))")
+        assert outer.children[0] is outer.children[1]
+        assert outer.children[0] is parse_term("g(a)")
+
+    def test_uid_stable_and_unique(self):
+        s = parse_term("f(a, b)")
+        t = parse_term("f(a, a)")
+        assert s.uid == parse_term("f(a, b)").uid
+        assert s.uid != t.uid
+
+    def test_uids_never_reused_after_gc(self):
+        victim = Tree("only-here-once", (leaf("x-unique"),))
+        old_uid = victim.uid
+        del victim
+        gc.collect()
+        reborn = Tree("only-here-once", (leaf("x-unique"),))
+        assert reborn.uid != old_uid
+
+    def test_intern_table_is_weak(self):
+        gc.collect()
+        before = interned_count()
+        keep = Tree("weakness-probe", (leaf("weakness-leaf"),))
+        assert interned_count() > before
+        del keep
+        gc.collect()
+        assert interned_count() <= before + 2  # probes may linger briefly
+
+    def test_hit_miss_counters(self):
+        reset_intern_stats()
+        a = Tree("counter-probe", ())
+        first = intern_stats()
+        assert first["misses"] >= 1
+        b = Tree("counter-probe", ())
+        second = intern_stats()
+        assert b is a
+        assert second["hits"] == first["hits"] + 1
+
+    def test_unhashable_label_rejected(self):
+        with pytest.raises(TreeError):
+            Tree(["not", "hashable"], ())
+
+
+class TestEqualityStability:
+    def test_hash_equals_for_equal_trees(self):
+        assert hash(parse_term("f(a, b)")) == hash(parse_term("f(a, b)"))
+
+    def test_equality_is_o1_identity(self):
+        s = parse_term("f(g(a), g(a))")
+        t = parse_term("f(g(a), g(a))")
+        assert s == t and s is t
+
+    @given(trees_over(BINARY_ALPHABET), trees_over(BINARY_ALPHABET))
+    @settings(max_examples=80)
+    def test_equality_iff_identity(self, s, t):
+        assert (s == t) == (s is t)
+
+    @given(trees_over(BINARY_ALPHABET))
+    @settings(max_examples=50)
+    def test_hash_stable_across_reconstruction(self, s):
+        rebuilt = Tree(s.label, tuple(Tree(c.label, c.children) for c in s.children))
+        assert rebuilt is s
+        assert hash(rebuilt) == hash(s)
+
+
+class TestImmutabilityAndCopies:
+    def test_mutation_raises(self):
+        node = leaf("a")
+        with pytest.raises(TreeError):
+            node.label = "b"
+        with pytest.raises(TreeError):
+            node.children = ()
+
+    def test_copy_and_deepcopy_return_self(self):
+        node = parse_term("f(a, g(b))")
+        assert copy.copy(node) is node
+        assert copy.deepcopy(node) is node
+
+    def test_pickle_roundtrip_reinterns(self):
+        node = parse_term("f(a, g(b))")
+        assert pickle.loads(pickle.dumps(node)) is node
+
+    def test_map_labels_shares_relabeled_subtrees(self):
+        node = parse_term("f(g(a), g(a))")
+        upper = node.map_labels(str.upper)
+        assert upper is parse_term("F(G(A), G(A))")
+        assert upper.children[0] is upper.children[1]
+
+
+class TestSharingEconomics:
+    def test_full_binary_tree_allocates_linearly(self):
+        """2^n - 1 logical nodes, n distinct objects — the hash-consing win."""
+        height = 16
+        level = leaf("l")
+        distinct = {level.uid}
+        for _ in range(height - 1):
+            level = tree("f", level, level)
+            distinct.add(level.uid)
+        assert level.size == 2 ** height - 1
+        assert len(distinct) == height
