@@ -45,6 +45,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple, Union
 from repro import serialize as _serialize
 from repro.automata.build import local_dtta_from_trees
 from repro.automata.dtta import DTTA
+from repro.engine import engine_for
 from repro.learning.rpni import LearnedDTOP, rpni_dtop
 from repro.learning.sample import Sample
 from repro.trees.lcp import clear_lcp_cache, lcp_cache_stats
@@ -61,6 +62,8 @@ __all__ = [
     "parse_tree",
     "learn",
     "run",
+    "run_batch",
+    "try_run_batch",
     "minimize",
     "equivalent",
     "serialize",
@@ -124,10 +127,44 @@ def run(transducer: TransducerLike, tree: TreeLike) -> Tree:
 
     Raises :class:`~repro.errors.UndefinedTransductionError` when the
     input is outside the transducer's domain.  Evaluation goes through
-    the persistent ``(state, node-uid)`` memo, so repeated runs over
-    overlapping inputs are incremental.
+    the compiled batch engine (:mod:`repro.engine`): the transducer is
+    lowered to flat rule tables once, then evaluated iteratively over
+    the shared tree DAG — arbitrarily deep inputs are fine, and repeated
+    runs over overlapping inputs are incremental through the persistent
+    ``(state, node-uid)`` memo.
     """
-    return _as_dtop(transducer).apply(parse_tree(tree))
+    return engine_for(_as_dtop(transducer)).run(parse_tree(tree))
+
+
+def run_batch(
+    transducer: TransducerLike, trees: Iterable[TreeLike]
+) -> list:
+    """Apply a transducer to a whole forest in one bottom-up sweep.
+
+    Subtrees shared between batch members (hash-consing makes sharing
+    structural) are translated exactly once, so a batch of overlapping
+    documents costs one pass over the *distinct* structure.  Raises the
+    first input's :class:`~repro.errors.UndefinedTransductionError` when
+    any input is outside the domain; use :func:`try_run_batch` for
+    per-input outcomes.
+
+    >>> learned = learn([("f(a, b)", "g(b)"), ("f(b, a)", "g(a)"),
+    ...                  ("f(a, a)", "g(a)"), ("f(b, b)", "g(b)")])
+    >>> [str(t) for t in run_batch(learned, ["f(a, b)", "f(b, b)"])]
+    ['g(b)', 'g(b)']
+    """
+    return engine_for(_as_dtop(transducer)).run_batch(
+        [parse_tree(tree) for tree in trees]
+    )
+
+
+def try_run_batch(
+    transducer: TransducerLike, trees: Iterable[TreeLike]
+) -> list:
+    """Like :func:`run_batch`, but undefined inputs yield ``None``."""
+    return engine_for(_as_dtop(transducer)).try_run_batch(
+        [parse_tree(tree) for tree in trees]
+    )
 
 
 def minimize(

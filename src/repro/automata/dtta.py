@@ -49,6 +49,7 @@ class DTTA:
         "_path_cache",
         "_accept_cache",
         "_allowed_cache",
+        "_engine",
     )
 
     def __init__(
@@ -81,6 +82,8 @@ class DTTA:
         self._path_cache: Dict[Path, Optional[State]] = {}
         self._accept_cache: Dict[Tuple[State, int], bool] = {}
         self._allowed_cache: Dict[State, Tuple[Symbol, ...]] = {}
+        # Lazily compiled batch engine (repro.engine.automaton_engine_for).
+        self._engine = None
 
     @property
     def states(self) -> FrozenSet[State]:

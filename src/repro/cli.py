@@ -7,8 +7,15 @@ Usage (also via ``python -m repro``)::
         --examples pairs_dir --save transform.json \
         [--fuse] [--compact-lists] [--abstract-values]
 
-    # Apply a saved transformation to a document:
+    # Apply a saved transformation to one or more documents:
     python -m repro apply --transform transform.json doc.xml
+    python -m repro apply --transform transform.json a.xml b.xml c.xml
+    python -m repro apply --transform transform.json --batch-dir docs/ \
+        --output out_dir
+
+    # Batch mode (several documents and/or --batch-dir) translates all
+    # encoded documents in one compiled-engine sweep; failures are
+    # reported per document without aborting the batch.
 
     # Show a saved transducer as an XSLT-like stylesheet:
     python -m repro show --transform transform.json
@@ -24,7 +31,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.serialize import dtop_from_data, dtop_to_data, dtta_from_data, dtta_to_data
@@ -126,16 +133,85 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_documents(args: argparse.Namespace) -> List[Path]:
+    paths = [Path(p) for p in args.documents]
+    if args.batch_dir:
+        directory = Path(args.batch_dir)
+        if not directory.is_dir():
+            raise ReproError(f"--batch-dir {directory} is not a directory")
+        paths.extend(sorted(directory.glob("*.xml")))
+    if not paths:
+        raise ReproError("no input documents (pass files or --batch-dir)")
+    return paths
+
+
 def _cmd_apply(args: argparse.Namespace) -> int:
     transformation = load_transformation(Path(args.transform))
-    document = parse_xml(Path(args.document).read_text(), ignore_attributes=True)
-    result = transformation.apply(document)
-    output = serialize_xml(result)
+    paths = _collect_documents(args)
+
+    if len(paths) == 1 and not args.batch_dir:
+        # Single-document mode: unchanged contract (raises via main()).
+        document = parse_xml(paths[0].read_text(), ignore_attributes=True)
+        result = transformation.apply(document)
+        output = serialize_xml(result)
+        if args.output:
+            Path(args.output).write_text(output + "\n")
+        else:
+            print(output)
+        return 0
+
+    # Batch mode: parse what parses, run everything through the engine's
+    # run_batch in one sweep, report per-document errors and continue.
+    documents: List[Optional[object]] = []
+    outcomes: List[object] = [None] * len(paths)
+    for index, path in enumerate(paths):
+        try:
+            documents.append(parse_xml(path.read_text(), ignore_attributes=True))
+        except (OSError, ReproError) as error:
+            outcomes[index] = error
+            documents.append(None)
+    batch = iter(
+        transformation.apply_batch([d for d in documents if d is not None])
+    )
+    for index, document in enumerate(documents):
+        if document is not None:
+            outcomes[index] = next(batch)
+
+    out_dir: Optional[Path] = None
     if args.output:
-        Path(args.output).write_text(output + "\n")
-    else:
-        print(output)
-    return 0
+        out_dir = Path(args.output)
+        if out_dir.exists() and not out_dir.is_dir():
+            raise ReproError(
+                f"--output {out_dir} must be a directory in batch mode"
+            )
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    written: set = set()
+    for path, outcome in zip(paths, outcomes):
+        if isinstance(outcome, Exception):
+            failures += 1
+            print(f"error: {path}: {outcome}", file=sys.stderr)
+            continue
+        output = serialize_xml(outcome)
+        if out_dir is not None:
+            # Same-stem inputs from different directories must not
+            # silently overwrite each other; dedupe the final filename.
+            name = f"{path.stem}.out.xml"
+            serial = 1
+            while name in written:
+                name = f"{path.stem}.{serial}.out.xml"
+                serial += 1
+            written.add(name)
+            (out_dir / name).write_text(output + "\n")
+        else:
+            print(f"<!-- {path} -->")
+            print(output)
+    print(
+        f"{len(paths) - failures}/{len(paths)} documents transformed"
+        + (f", {failures} failed" if failures else ""),
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -166,10 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--abstract-values", action="store_true")
     learn.set_defaults(func=_cmd_learn)
 
-    apply_cmd = commands.add_parser("apply", help="apply a saved transformation")
+    apply_cmd = commands.add_parser(
+        "apply", help="apply a saved transformation to one or more documents"
+    )
     apply_cmd.add_argument("--transform", required=True)
-    apply_cmd.add_argument("document")
-    apply_cmd.add_argument("--output")
+    apply_cmd.add_argument(
+        "documents", nargs="*", metavar="document",
+        help="XML documents to transform",
+    )
+    apply_cmd.add_argument(
+        "--batch-dir", help="also transform every *.xml file in this directory"
+    )
+    apply_cmd.add_argument(
+        "--output",
+        help="output file (single document) or output directory (batch); "
+        "batch results are written as NAME.out.xml",
+    )
     apply_cmd.set_defaults(func=_cmd_apply)
 
     show = commands.add_parser("show", help="print a saved transducer")

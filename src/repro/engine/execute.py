@@ -1,0 +1,372 @@
+"""Iterative batch execution over compiled machines.
+
+:class:`Engine` evaluates a compiled DTOP over a *forest* of inputs in
+one pass, exploiting the global hash-consing of
+:class:`~repro.trees.tree.Tree`:
+
+1. **Demand pass** (iterative worklist): starting from the axiom's calls
+   on every root, collect the ``(state_id, subtree)`` pairs the run
+   actually needs, following the precompiled call sites of each rule.
+   Pairs already present in the persistent memo are not revisited, and a
+   subtree shared between batch members is demanded once.
+2. **Sweep pass** (topological): sort the demanded pairs by subtree
+   height — children are strictly lower than their parents, so replaying
+   each pair's instruction template with an operand stack finds every
+   call answer already computed.  Undefinedness (a -1 dispatch slot)
+   becomes a recorded failure that propagates upward through the first
+   failing call site in document order, reproducing the interpreter's
+   error exactly.
+3. **Axiom pass**: instantiate the axiom template per root; roots whose
+   demanded pairs failed yield their recorded error instead of a tree.
+
+No step recurses, so input depth is bounded by memory, not by the
+Python stack.  Results are memoized persistently on ``(state_id, uid)``
+— like :meth:`DTOP.eval_state`, but shared across every entry point of
+the engine (batch runs, single runs, stopped-run off-path translations).
+
+:class:`AutomatonEngine` is the analogous one-sweep membership checker
+for compiled DTTAs: one bottom-up pass computes, per distinct subtree, a
+bitmask of all automaton states that accept it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import UndefinedTransductionError
+from repro.trees.tree import Tree
+from repro.transducers.rhs import StateName
+
+from repro.engine.compile import (
+    OP_CALL,
+    OP_CONST,
+    CompiledDTOP,
+    CompiledDTTA,
+    compile_dtop,
+    compile_dtta,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.automata.dtta import DTTA
+    from repro.transducers.dtop import DTOP
+
+PairKey = Tuple[int, int]  # (state_id, tree uid)
+Outcome = Union[Tree, UndefinedTransductionError]
+
+
+class Engine:
+    """Iterative batch executor for one compiled DTOP.
+
+    Holds the persistent ``(state_id, uid) → Tree`` memo; failures are
+    never cached (matching the interpreter).  Obtain the per-transducer
+    shared instance with :func:`engine_for`.
+    """
+
+    __slots__ = ("compiled", "_memo", "_stats")
+
+    def __init__(self, compiled: CompiledDTOP):
+        self.compiled = compiled
+        self._memo: Dict[PairKey, Tree] = {}
+        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "batches": 0}
+
+    # ------------------------------------------------------------------
+    # Core sweep
+    # ------------------------------------------------------------------
+
+    def _sweep(
+        self, seeds: Sequence[Tuple[int, Tree]]
+    ) -> Dict[PairKey, UndefinedTransductionError]:
+        """Demand and evaluate every pair reachable from the seed pairs.
+
+        On return, each demanded pair is either in the persistent memo or
+        in the returned failure map (carrying the same error the
+        interpreter would raise from that pair).
+        """
+        compiled = self.compiled
+        memo = self._memo
+        stats = self._stats
+        stats["batches"] += 1
+        rule_of = compiled.rule_of
+        rule_calls = compiled.rule_calls
+        num_symbols = compiled.num_symbols
+        symbol_ids = compiled.symbol_ids
+
+        # Demand pass: every (state, subtree) pair the run needs.
+        demanded: Dict[PairKey, Tuple[int, Tree]] = {}
+        stack: List[Tuple[int, Tree]] = []
+        for state_id, node in seeds:
+            key = (state_id, node.uid)
+            if key in memo:
+                stats["hits"] += 1
+            elif key not in demanded:
+                demanded[key] = (state_id, node)
+                stack.append((state_id, node))
+        while stack:
+            state_id, node = stack.pop()
+            symbol_id = symbol_ids.get(node.label)
+            if symbol_id is None:
+                continue  # undefined here; recorded in the sweep pass
+            rule = rule_of[state_id * num_symbols + symbol_id]
+            if rule < 0:
+                continue
+            children = node.children
+            for called_id, var in rule_calls[rule]:
+                child = children[var - 1]
+                key = (called_id, child.uid)
+                if key in memo:
+                    stats["hits"] += 1
+                elif key not in demanded:
+                    demanded[key] = (called_id, child)
+                    stack.append((called_id, child))
+
+        # Sweep pass: children strictly before parents (height order).
+        failed: Dict[PairKey, UndefinedTransductionError] = {}
+        order = sorted(demanded.values(), key=lambda pair: pair[1].height)
+        for state_id, node in order:
+            symbol_id = symbol_ids.get(node.label)
+            rule = (
+                rule_of[state_id * num_symbols + symbol_id]
+                if symbol_id is not None
+                else -1
+            )
+            key = (state_id, node.uid)
+            if rule < 0:
+                failed[key] = UndefinedTransductionError(
+                    f"no rule for state {compiled.state_names[state_id]!r} "
+                    f"on symbol {node.label!r}"
+                )
+                continue
+            children = node.children
+            error: Optional[UndefinedTransductionError] = None
+            for called_id, var in rule_calls[rule]:
+                error = failed.get((called_id, children[var - 1].uid))
+                if error is not None:
+                    break
+            if error is not None:
+                failed[key] = error
+                continue
+            memo[key] = self._replay(
+                compiled.rule_templates[rule], node, children
+            )
+            stats["misses"] += 1
+        return failed
+
+    def _replay(
+        self, template: Sequence[Tuple], root: Tree, children: Tuple[Tree, ...]
+    ) -> Tree:
+        """Run one postorder instruction template with an operand stack.
+
+        ``children`` are the input node's subtrees for 1-based call
+        variables; variable 0 (axiom templates) resolves to ``root``.
+        """
+        memo = self._memo
+        operands: List[Tree] = []
+        push = operands.append
+        for instruction in template:
+            opcode = instruction[0]
+            if opcode == OP_CONST:
+                push(instruction[1])
+            elif opcode == OP_CALL:
+                target = children[instruction[2] - 1] if instruction[2] else root
+                push(memo[(instruction[1], target.uid)])
+            else:  # OP_MAKE
+                arity = instruction[2]
+                if arity:
+                    made = Tree(instruction[1], tuple(operands[-arity:]))
+                    del operands[-arity:]
+                else:
+                    made = Tree(instruction[1], ())
+                push(made)
+        return operands[-1]
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def run_batch_outcomes(self, trees: Sequence[Tree]) -> List[Outcome]:
+        """Translate a forest; per-input outcome, never raises.
+
+        Each entry is the output :class:`Tree`, or the
+        :class:`UndefinedTransductionError` that input would raise under
+        the interpreter.  Shared subtrees across the forest are
+        translated exactly once.
+        """
+        roots = list(trees)
+        axiom_calls = self.compiled.axiom_calls
+        failed = self._sweep(
+            [(state_id, root) for root in roots for state_id, _var in axiom_calls]
+        )
+        outcomes: List[Outcome] = []
+        for root in roots:
+            error: Optional[UndefinedTransductionError] = None
+            for state_id, _var in axiom_calls:
+                error = failed.get((state_id, root.uid))
+                if error is not None:
+                    break
+            if error is not None:
+                outcomes.append(error)
+            else:
+                outcomes.append(
+                    self._replay(self.compiled.axiom_template, root, root.children)
+                )
+        return outcomes
+
+    def run_batch(self, trees: Sequence[Tree]) -> List[Tree]:
+        """Translate a forest in one sweep; all-or-nothing.
+
+        Raises the first input's :class:`UndefinedTransductionError` (in
+        input order) when any input lies outside the domain — the same
+        error :meth:`run` would raise for that input.
+        """
+        outcomes = self.run_batch_outcomes(trees)
+        for outcome in outcomes:
+            if isinstance(outcome, UndefinedTransductionError):
+                raise outcome
+        return outcomes  # type: ignore[return-value]
+
+    def try_run_batch(self, trees: Sequence[Tree]) -> List[Optional[Tree]]:
+        """Like :meth:`run_batch` but ``None`` marks undefined inputs."""
+        return [
+            None if isinstance(outcome, UndefinedTransductionError) else outcome
+            for outcome in self.run_batch_outcomes(trees)
+        ]
+
+    def run(self, tree: Tree) -> Tree:
+        """``[[M]](s)`` without recursion; raises when undefined."""
+        return self.run_batch([tree])[0]
+
+    def try_run(self, tree: Tree) -> Optional[Tree]:
+        """``[[M]](s)`` or ``None`` when outside the domain."""
+        return self.try_run_batch([tree])[0]
+
+    def eval_state(self, state: StateName, tree: Tree) -> Tree:
+        """``[[M]]_q(s)`` iteratively — drop-in for :meth:`DTOP.eval_state`."""
+        state_id = self.compiled.state_ids.get(state)
+        if state_id is None:
+            raise UndefinedTransductionError(
+                f"no rule for state {state!r} on symbol {tree.label!r}"
+            )
+        key = (state_id, tree.uid)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._stats["hits"] += 1
+            return cached
+        failed = self._sweep([(state_id, tree)])
+        error = failed.get(key)
+        if error is not None:
+            raise error
+        return self._memo[key]
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Counters: ``hits``, ``misses`` (pair evaluations), ``batches``,
+        ``entries``."""
+        return {**self._stats, "entries": len(self._memo)}
+
+    def clear_cache(self) -> None:
+        """Drop the persistent pair memo and zero the counters."""
+        self._memo.clear()
+        self._stats["hits"] = 0
+        self._stats["misses"] = 0
+        self._stats["batches"] = 0
+
+
+class AutomatonEngine:
+    """One-sweep batch membership for a compiled DTTA.
+
+    Per distinct subtree the sweep computes an integer bitmask of *all*
+    automaton states accepting it, memoized persistently on the tree uid
+    — so overlapping batches and repeated queries cost one visit per new
+    distinct subtree, with no recursion.
+    """
+
+    __slots__ = ("compiled", "_masks")
+
+    def __init__(self, compiled: CompiledDTTA):
+        self.compiled = compiled
+        self._masks: Dict[int, int] = {}
+
+    def _sweep(self, roots: Sequence[Tree]) -> None:
+        masks = self._masks
+        compiled = self.compiled
+        symbol_ids = compiled.symbol_ids
+        by_symbol = compiled.by_symbol
+        # Collect new distinct subtrees, then fold bottom-up by height.
+        fresh: Dict[int, Tree] = {}
+        stack: List[Tree] = [root for root in roots if root.uid not in masks]
+        while stack:
+            node = stack.pop()
+            if node.uid in fresh:
+                continue
+            fresh[node.uid] = node
+            for child in node.children:
+                if child.uid not in masks and child.uid not in fresh:
+                    stack.append(child)
+        for node in sorted(fresh.values(), key=lambda n: n.height):
+            symbol_id = symbol_ids.get(node.label)
+            mask = 0
+            if symbol_id is not None:
+                children = node.children
+                arity = len(children)
+                for state_id, child_states in by_symbol[symbol_id]:
+                    if len(child_states) != arity:
+                        continue
+                    for child_state, child in zip(child_states, children):
+                        if not (masks[child.uid] >> child_state) & 1:
+                            break
+                    else:
+                        mask |= 1 << state_id
+            masks[node.uid] = mask
+
+    def accepts_batch(self, trees: Sequence[Tree]) -> List[bool]:
+        """Membership of each tree in ``L(A)``, one shared sweep."""
+        roots = list(trees)
+        self._sweep(roots)
+        initial = self.compiled.initial_id
+        masks = self._masks
+        return [bool((masks[root.uid] >> initial) & 1) for root in roots]
+
+    def accepts(self, tree: Tree) -> bool:
+        """Membership of one tree in ``L(A)`` (no recursion)."""
+        return self.accepts_batch([tree])[0]
+
+    def accepts_from(self, state: object, tree: Tree) -> bool:
+        """Does the run from ``state`` succeed on ``tree``?"""
+        state_id = self.compiled.state_ids.get(state)
+        if state_id is None:
+            return False
+        self._sweep([tree])
+        return bool((self._masks[tree.uid] >> state_id) & 1)
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        return {"entries": len(self._masks)}
+
+    def clear_cache(self) -> None:
+        self._masks.clear()
+
+
+def engine_for(transducer: "DTOP") -> Engine:
+    """The shared compiled engine of a transducer (compiled on first use).
+
+    Cached on the (immutable) transducer instance, so every consumer —
+    ``api.run``, stopped runs, the learner's oracle — shares one memo.
+    """
+    engine = transducer._engine
+    if engine is None:
+        engine = Engine(compile_dtop(transducer))
+        transducer._engine = engine
+    return engine
+
+
+def automaton_engine_for(automaton: "DTTA") -> AutomatonEngine:
+    """The shared compiled engine of a DTTA (compiled on first use)."""
+    engine = automaton._engine
+    if engine is None:
+        engine = AutomatonEngine(compile_dtta(automaton))
+        automaton._engine = engine
+    return engine

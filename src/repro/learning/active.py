@@ -36,6 +36,7 @@ from repro.automata.ops import (
     enumerate_language,
     minimal_witness_trees,
 )
+from repro.engine import automaton_engine_for, engine_for
 from repro.errors import InsufficientSampleError, LearningError
 from repro.trees.paths import Path
 from repro.trees.tree import Tree
@@ -240,7 +241,7 @@ def learn_actively(
 
     def ask(tree: Tree) -> None:
         nonlocal membership
-        if tree in pairs or not domain.accepts(tree):
+        if tree in pairs or not automaton_engine_for(domain).accepts(tree):
             return
         membership += 1
         output = oracle(tree)
@@ -278,7 +279,10 @@ def learn_actively(
             continue
         # Sampled equivalence query.  Probe depth scales with the
         # hypothesis: distinguishing inputs for an N-state machine can
-        # need Θ(N) deep trees (e.g. an N-state relabeling cycle).
+        # need Θ(N) deep trees (e.g. an N-state relabeling cycle).  The
+        # hypothesis side runs on the compiled engine, so probes sharing
+        # structure across rounds are translated incrementally.
+        hypothesis = engine_for(learned.dtop)
         depth_cap = 2 * max(learned.num_states, 1) + 4
         counterexample = None
         for trial in range(equivalence_tests):
@@ -296,7 +300,7 @@ def learn_actively(
             expected = oracle(probe)
             if expected is None:
                 continue
-            if learned.dtop.try_apply(probe) != expected:
+            if hypothesis.try_run(probe) != expected:
                 counterexample = (probe, expected)
                 break
         if counterexample is None:

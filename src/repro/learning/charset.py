@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.automata.dtta import State as DState
 from repro.automata.ops import minimal_witness_trees
+from repro.engine import engine_for
 from repro.errors import LearningError
 from repro.trees.paths import Path
 from repro.trees.substitution import replace_at_path
@@ -40,18 +41,27 @@ PathPair = Tuple[Path, Path]
 
 
 class _SampleBuilder:
-    """Accumulates (input, output) pairs, deduplicated, outputs by the target."""
+    """Accumulates input trees; target outputs are produced in one batch.
+
+    The thousands of oracle translations the construction needs form a
+    natural batch: sources overlap heavily (variants of the same base
+    trees), so the compiled engine's single bottom-up sweep in
+    :meth:`sample` translates each distinct subtree once.
+    """
 
     def __init__(self, canonical: CanonicalDTOP):
         self.canonical = canonical
-        self.pairs: Dict[Tree, Tree] = {}
+        self.sources: Dict[Tree, None] = {}  # insertion-ordered set
 
     def add(self, source: Tree) -> None:
-        if source not in self.pairs:
-            self.pairs[source] = self.canonical.dtop.apply(source)
+        self.sources.setdefault(source)
 
     def sample(self) -> Sample:
-        return Sample(sorted(self.pairs.items(), key=lambda st: (st[0].size, str(st[0]))))
+        sources = list(self.sources)
+        outputs = engine_for(self.canonical.dtop).run_batch(sources)
+        return Sample(
+            sorted(zip(sources, outputs), key=lambda st: (st[0].size, str(st[0])))
+        )
 
 
 def _frontier_entries(

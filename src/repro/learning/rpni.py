@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.automata.dtta import DTTA
 from repro.automata.ops import canonical_form
+from repro.engine import automaton_engine_for
 from repro.errors import InconsistentSampleError, InsufficientSampleError
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.lcp import BOTTOM_SYMBOL
@@ -117,8 +118,13 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
     if not len(sample):
         raise InsufficientSampleError("the sample is empty")
     domain = canonical_form(domain)
-    for source, _target in sample:
-        if not domain.accepts(source):
+    # One compiled batch sweep validates every sample input (shared
+    # subtrees are checked once; deep inputs don't hit recursion limits).
+    sources = [source for source, _target in sample]
+    for source, accepted in zip(
+        sources, automaton_engine_for(domain).accepts_batch(sources)
+    ):
+        if not accepted:
             raise InconsistentSampleError(
                 f"sample input {source} is outside the domain language"
             )

@@ -57,6 +57,7 @@ class DTOP:
         "_states",
         "_memo",
         "_memo_stats",
+        "_engine",
     )
 
     def __init__(
@@ -96,6 +97,8 @@ class DTOP:
         # immutable; uids are never reused.
         self._memo: Dict[Tuple[StateName, int], Tree] = {}
         self._memo_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        # Lazily compiled batch engine (repro.engine.engine_for).
+        self._engine = None
         self._check_output_ranks(axiom)
         for rhs in self.rules.values():
             self._check_output_ranks(rhs)
@@ -203,11 +206,14 @@ class DTOP:
         """Drop the persistent run memo and zero its counters.
 
         Only needed to release memory (long-lived transducers applied to
-        many unrelated inputs) — never for correctness.
+        many unrelated inputs) — never for correctness.  Also drops the
+        compiled engine's pair memo (the compiled tables are kept).
         """
         self._memo.clear()
         self._memo_stats["hits"] = 0
         self._memo_stats["misses"] = 0
+        if self._engine is not None:
+            self._engine.clear_cache()
 
     def try_apply(self, node: Tree) -> Optional[Tree]:
         """``[[M]](s)`` or ``None`` when the input is outside the domain."""
@@ -307,6 +313,7 @@ class DTOP:
         clone._states = frozenset(mapping.get(q, q) for q in self._states)
         clone._memo = {}
         clone._memo_stats = {"hits": 0, "misses": 0}
+        clone._engine = None
         return clone
 
     def __repr__(self) -> str:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.automata.dtta import DTTA, State as DState
-from repro.automata.ops import canonical_form
+from repro.automata.ops import canonical_form, enumerate_language
 from repro.trees.alphabet import Symbol
 from repro.trees.lcp import is_bottom
 from repro.trees.tree import Tree
@@ -206,17 +206,52 @@ def canonicalize(
     return CanonicalDTOP(canonical, domain, state_domain)
 
 
+#: Probe budget of the differential fast path in :func:`equivalent_on`.
+_REFUTATION_PROBES = 24
+
+
+def _differential_refutes(
+    left: DTOP, right: DTOP, domain: DTTA, limit: int = _REFUTATION_PROBES
+) -> bool:
+    """Cheap refutation: do the machines visibly differ on small inputs?
+
+    Enumerates up to ``limit`` members of ``L(domain)`` (``domain`` must
+    be the effective domain of ``left`` restricted to the inspection
+    language, so ``left`` is defined on all of them) and compares both
+    compiled engines on the whole probe forest in one batch sweep each.
+    A mismatch — including ``right`` being undefined — proves the
+    translations differ; agreement proves nothing and the caller falls
+    back to the exact canonical-form comparison.
+    """
+    # Imported here: this module is pulled in by the package __init__,
+    # before repro.engine (which imports repro.transducers.rhs) exists.
+    from repro.engine import engine_for
+
+    probes = list(enumerate_language(domain, limit=limit))
+    if not probes:
+        return False
+    left_out = engine_for(left).try_run_batch(probes)
+    right_out = engine_for(right).try_run_batch(probes)
+    return left_out != right_out
+
+
 def equivalent_on(
     left: DTOP, right: DTOP, inspection: Optional[DTTA] = None
 ) -> bool:
     """Decide ``[[M1]]|L(A) = [[M2]]|L(A)`` (as partial functions).
 
     With ``inspection=None``, decides equality of the full translations
-    (including equality of the implicit domains).
+    (including equality of the implicit domains).  Inequivalent machines
+    are usually refuted without canonicalizing ``right``: both compiled
+    engines run over a small probe forest enumerated from ``left``'s
+    effective domain (a by-product of canonicalizing ``left``, which the
+    exact check needs anyway), and only on agreement is ``right``
+    canonicalized for the exact comparison.
     """
-    return canonicalize(left, inspection).same_translation(
-        canonicalize(right, inspection)
-    )
+    left_canonical = canonicalize(left, inspection)
+    if _differential_refutes(left, right, left_canonical.domain):
+        return False
+    return left_canonical.same_translation(canonicalize(right, inspection))
 
 
 # ---------------------------------------------------------------------------

@@ -8,11 +8,13 @@ io-paths.  We implement the stopped run directly, without materializing
 ``M_x``: the computation proceeds along the path ``u`` only, which is all
 that Definition 3 needs.
 
-Every off-path subtree is translated through the transducer's persistent
-``(state, node-uid)`` memo (:meth:`repro.transducers.dtop.DTOP.eval_state`),
-so a batch of stopped runs on the same input — the characteristic-sample
-construction and the io-path enumeration fire thousands of them — pays
-for each off-path translation once.
+Every off-path subtree is translated through the compiled batch engine
+(:func:`repro.engine.engine_for`), whose persistent ``(state, node-uid)``
+memo is shared with every other evaluation entry point — so a batch of
+stopped runs on the same input (the characteristic-sample construction
+and the io-path enumeration fire thousands of them) pays for each
+off-path translation once, iteratively, with no recursion-depth limit on
+the off-path subtrees.
 """
 
 from __future__ import annotations
@@ -53,6 +55,11 @@ def run_stopped(transducer: DTOP, input_tree: Tree, u: Path) -> Tree:
     Raises :class:`UndefinedTransductionError` when some off-path
     translation is undefined.
     """
+    # Imported here: this module is pulled in by the package __init__,
+    # before repro.engine (which imports repro.transducers.rhs) exists.
+    from repro.engine import engine_for
+
+    engine = engine_for(transducer)
 
     def eval_along(state: StateName, node: Tree, remaining: Path) -> Tree:
         if not remaining:
@@ -75,8 +82,9 @@ def run_stopped(transducer: DTOP, input_tree: Tree, u: Path) -> Tree:
             child = node.children[head.var - 1]
             if head.var == index:
                 return eval_along(head.state, child, rest)
-            # Off-path: a full translation, served by the persistent memo.
-            return transducer.eval_state(head.state, child)
+            # Off-path: a full translation, served by the engine's
+            # persistent memo (iterative — safe on deep subtrees).
+            return engine.eval_state(head.state, child)
         return Tree(
             head,
             tuple(instantiate(c, node, index, rest) for c in rhs.children),

@@ -13,9 +13,11 @@ Given input and output DTDs and example document pairs, the pipeline
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.automata.dtta import DTTA
+from repro.engine import engine_for
+from repro.errors import ReproError
 from repro.learning.rpni import LearnedDTOP, rpni_dtop
 from repro.learning.sample import Sample
 from repro.transducers.dtop import DTOP
@@ -50,6 +52,14 @@ class XMLTransformation:
         """Transform an unranked document conforming to the input DTD."""
         encoded, values = self.input_encoder.encode_with_values(document)
         output, origins = apply_with_origins(self.transducer, encoded)
+        return self._decode_with_values(output, origins, values)
+
+    def _decode_with_values(
+        self,
+        output,
+        origins: Dict[Tuple[int, ...], Tuple[int, ...]],
+        values: Dict[Tuple[int, ...], str],
+    ) -> UTree:
         value_labels = (
             VALUE_LABELS
             if self.output_encoder.abstract_values
@@ -62,6 +72,64 @@ class XMLTransformation:
                 if value is not None:
                     out_values[address] = value
         return self.output_encoder.decode(output, out_values)
+
+    def apply_batch(
+        self, documents: Iterable[UTree]
+    ) -> List[Union[UTree, ReproError]]:
+        """Transform a batch of documents; per-document outcomes.
+
+        Value-free documents are translated through the compiled batch
+        engine in **one** bottom-up sweep (:mod:`repro.engine`), so
+        structure shared between them is paid for once.  Documents that
+        carry character data need the origin-tracking interpreter to
+        rehydrate their text values — provenance is per-occurrence and
+        cannot be memoized or batched — and are translated individually.
+        All failures (non-conforming, out-of-domain, or too deep for the
+        recursive origin tracker) are reported per document without
+        aborting the batch.
+        """
+        prepared: List[Union[Tuple, ReproError]] = []
+        engine_inputs = []
+        for document in documents:
+            try:
+                encoded, values = self.input_encoder.encode_with_values(document)
+            except ReproError as error:
+                prepared.append(error)
+                continue
+            prepared.append((encoded, values))
+            if not values:
+                engine_inputs.append(encoded)
+        outcomes = iter(
+            engine_for(self.transducer).run_batch_outcomes(engine_inputs)
+        )
+        results: List[Union[UTree, ReproError]] = []
+        for entry in prepared:
+            if isinstance(entry, ReproError):
+                results.append(entry)
+                continue
+            encoded, values = entry
+            try:
+                if values:
+                    output, origins = apply_with_origins(self.transducer, encoded)
+                    results.append(
+                        self._decode_with_values(output, origins, values)
+                    )
+                else:
+                    outcome = next(outcomes)
+                    if isinstance(outcome, ReproError):
+                        results.append(outcome)
+                    else:
+                        results.append(self._decode_with_values(outcome, {}, {}))
+            except ReproError as error:
+                results.append(error)
+            except RecursionError:
+                results.append(
+                    ReproError(
+                        "document translation exceeded the recursion limit "
+                        "(origin tracking and XML decoding are recursive)"
+                    )
+                )
+        return results
 
     @property
     def num_states(self) -> int:

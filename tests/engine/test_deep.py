@@ -1,0 +1,79 @@
+"""Regression tests: deep inputs must not hit Python's recursion limit.
+
+The recursive interpreter (:meth:`DTOP.apply`, :meth:`DTTA.accepts`)
+overflows the Python stack on monadic trees of depth ≳900.  The engine
+is iterative end to end — demand, sweep, and template replay — so depth
+100 000 is required to work (ISSUE 2, satellite 1).
+"""
+
+import sys
+
+import pytest
+
+from repro import api
+from repro.engine import automaton_engine_for, engine_for
+from repro.trees.generate import monadic_tree
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.trees.alphabet import RankedAlphabet
+from repro.transducers.rhs import rhs_tree
+from repro.workloads.families import cycle_relabel
+
+DEPTH = 100_000
+
+
+@pytest.fixture(scope="module")
+def deep_tree():
+    return monadic_tree(["a"] * DEPTH)
+
+
+def test_interpreter_overflows_on_deep_trees():
+    machine, _domain = cycle_relabel(3)
+    source = monadic_tree(["a"] * (sys.getrecursionlimit() + 500))
+    with pytest.raises(RecursionError):
+        machine.apply(source)
+
+
+def test_engine_translates_depth_100k(deep_tree):
+    machine, _domain = cycle_relabel(3)
+    output = engine_for(machine).run(deep_tree)
+    assert output.height == DEPTH + 1
+    assert output.label == "c0"
+    assert output.children[0].label == "c1"
+
+
+def test_api_run_handles_depth_100k(deep_tree):
+    machine, _domain = cycle_relabel(3)
+    output = api.run(machine, deep_tree)
+    assert output.height == DEPTH + 1
+
+
+def test_run_batch_handles_deep_overlapping_forest(deep_tree):
+    machine, _domain = cycle_relabel(3)
+    # The deep tree plus prefixes of it (suffix-sharing chains).
+    forest = [deep_tree, deep_tree.children[0], monadic_tree(["a"] * 10)]
+    outputs = engine_for(machine).run_batch(forest)
+    assert [t.height for t in outputs] == [DEPTH + 1, DEPTH, 11]
+
+
+def test_accepts_batch_handles_depth_100k(deep_tree):
+    _machine, domain = cycle_relabel(3)
+    engine = automaton_engine_for(domain)
+    assert engine.accepts_batch([deep_tree, Tree("e", ())]) == [True, True]
+
+
+def test_deep_undefined_input_fails_cleanly_without_recursion():
+    # No rule for the leaf: the failure is born at depth 100k and must
+    # propagate to the root iteratively, with the interpreter's message.
+    alphabet = RankedAlphabet({"a": 1, "e": 0})
+    machine = DTOP(
+        alphabet,
+        alphabet,
+        rhs_tree(("q", 0)),
+        {("q", "a"): rhs_tree(("a", ("q", 1)))},
+    )
+    deep = monadic_tree(["a"] * DEPTH)
+    engine = engine_for(machine)
+    assert engine.try_run(deep) is None
+    with pytest.raises(Exception, match="no rule for state 'q' on symbol 'e'"):
+        engine.run(deep)

@@ -1,0 +1,184 @@
+"""Property-style tests: compiled engine ≡ recursive interpreter.
+
+Randomized workloads come from :mod:`repro.workloads.families`; every
+comparison uses a *fresh* transducer instance on the interpreter side so
+its memo is cold and the comparison is honest.  Undefined transductions
+must agree too: same inputs rejected, same error type and message.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import automaton_engine_for, engine_for
+from repro.errors import UndefinedTransductionError
+from repro.trees.generate import monadic_tree, random_tree
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+from repro.transducers.run import run_stopped
+from repro.workloads.families import (
+    cycle_relabel,
+    exp_full_binary,
+    random_total_dtop,
+    rotate_lists,
+)
+
+
+def interpreter_outcome(machine, source):
+    try:
+        return machine.apply(source)
+    except UndefinedTransductionError as error:
+        return ("undefined", str(error))
+
+
+def engine_outcome(engine, source):
+    try:
+        return engine.run(source)
+    except UndefinedTransductionError as error:
+        return ("undefined", str(error))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_total_dtop_agrees_with_interpreter(seed):
+    machine, _domain = random_total_dtop(num_states=4, seed=seed)
+    engine = engine_for(machine)
+    rng = random.Random(seed * 101 + 7)
+    sources = [
+        random_tree(machine.input_alphabet, max_height=7, rng=rng)
+        for _ in range(60)
+    ]
+    batch = engine.run_batch(sources)
+    reference = random_total_dtop(num_states=4, seed=seed)[0]  # cold memo
+    for source, output in zip(sources, batch):
+        assert output == reference.apply(source)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_partial_dtop_same_outputs_and_same_errors(seed):
+    machine, _domain = random_total_dtop(num_states=4, seed=seed)
+    rng = random.Random(seed * 31 + 1)
+    # Knock out a third of the rules to create genuinely partial machines.
+    kept = {
+        key: rhs
+        for key, rhs in machine.rules.items()
+        if rng.random() > 1 / 3
+    }
+    partial = DTOP(
+        machine.input_alphabet, machine.output_alphabet, machine.axiom, kept
+    )
+    reference = DTOP(
+        machine.input_alphabet, machine.output_alphabet, machine.axiom, kept
+    )
+    engine = engine_for(partial)
+    sources = [
+        random_tree(machine.input_alphabet, max_height=6, rng=rng)
+        for _ in range(80)
+    ]
+    undefined = 0
+    for source in sources:
+        expected = interpreter_outcome(reference, source)
+        assert engine_outcome(engine, source) == expected
+        if isinstance(expected, tuple):
+            undefined += 1
+    # The workload must actually exercise the undefined path.
+    assert undefined > 0
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_try_run_batch_matches_per_tree_try_apply(seed):
+    machine, _domain = random_total_dtop(num_states=3, seed=seed + 50)
+    rng = random.Random(seed)
+    kept = dict(list(machine.rules.items())[:-2])
+    partial = DTOP(
+        machine.input_alphabet, machine.output_alphabet, machine.axiom, kept
+    )
+    reference = DTOP(
+        machine.input_alphabet, machine.output_alphabet, machine.axiom, kept
+    )
+    sources = [
+        random_tree(machine.input_alphabet, max_height=6, rng=rng)
+        for _ in range(50)
+    ]
+    batch = engine_for(partial).try_run_batch(sources)
+    assert batch == [reference.try_apply(source) for source in sources]
+
+
+@pytest.mark.parametrize("n", [1, 2, 5])
+def test_cycle_relabel_agrees(n):
+    machine, domain = cycle_relabel(n)
+    engine = engine_for(machine)
+    for depth in [0, 1, n - 1, n, 3 * n + 2, 97]:
+        source = monadic_tree(["a"] * max(depth, 0))
+        assert engine.run(source) == cycle_relabel(n)[0].apply(source)
+        assert automaton_engine_for(domain).accepts(source)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_rotate_lists_agrees(k):
+    machine, domain = rotate_lists(k)
+    engine = engine_for(machine)
+
+    def make_list(index, length):
+        node = Tree("#", ())
+        for _ in range(length):
+            node = Tree(f"s{index}", (Tree("#", ()), node))
+        return node
+
+    rng = random.Random(k)
+    for _ in range(20):
+        source = Tree(
+            "root",
+            tuple(make_list(i, rng.randrange(0, 6)) for i in range(k)),
+        )
+        assert engine.run(source) == rotate_lists(k)[0].apply(source)
+        assert automaton_engine_for(domain).accepts(source)
+
+
+def test_exp_full_binary_shares_output():
+    machine, _domain = exp_full_binary()
+    engine = engine_for(machine)
+    source = monadic_tree(["a"] * 16)
+    output = engine.run(source)
+    assert output == exp_full_binary()[0].apply(source)
+    # 2^17 - 1 logical output nodes from 17 pair evaluations.
+    assert output.size == 2 ** 17 - 1
+    assert engine.cache_stats["misses"] == 17
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_automaton_engine_matches_accepts_from(seed):
+    _machine, domain = random_total_dtop(num_states=3, seed=seed)
+    rng = random.Random(seed + 9)
+    sources = [
+        random_tree(domain.alphabet, max_height=6, rng=rng) for _ in range(40)
+    ]
+    engine = automaton_engine_for(domain)
+    assert engine.accepts_batch(sources) == [
+        domain.accepts(source) for source in sources
+    ]
+    for state in domain.states:
+        for source in sources[:10]:
+            assert engine.accepts_from(state, source) == domain.accepts_from(
+                state, source
+            )
+
+
+def test_automaton_engine_rejects_wrong_arity_and_unknown_symbols():
+    _machine, domain = cycle_relabel(2)
+    engine = automaton_engine_for(domain)
+    assert not engine.accepts(Tree("z", ()))
+    assert not engine.accepts(Tree("a", ()))  # 'a' requires one child
+
+
+def test_stopped_runs_still_agree_after_engine_rewire():
+    machine, _domain = rotate_lists(2)
+    source = Tree(
+        "root",
+        (
+            Tree("s0", (Tree("#", ()), Tree("#", ()))),
+            Tree("s1", (Tree("#", ()), Tree("#", ()))),
+        ),
+    )
+    stopped = run_stopped(machine, source, (("root", 1),))
+    # Off-path subtree (the s1 list) must be fully translated.
+    assert "s1" in str(stopped)

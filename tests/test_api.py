@@ -46,6 +46,27 @@ class TestLearnRun:
         assert api.parse_tree("f(a, b)") is node
 
 
+class TestRunBatch:
+    def test_run_batch_matches_run(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        sources = ["f(a, b)", "f(b, a)", "f(f(a, a), b)", "a"]
+        assert api.run_batch(learned, sources) == [
+            api.run(learned, source) for source in sources
+        ]
+
+    def test_run_batch_raises_on_first_undefined(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        with pytest.raises(UndefinedTransductionError):
+            api.run_batch(learned, ["f(a, b)", "g(a)"])
+
+    def test_try_run_batch_marks_undefined_inputs(self):
+        learned = api.learn(FLIP_EXAMPLES)
+        outcomes = api.try_run_batch(learned, ["f(a, b)", "g(a)", "b"])
+        assert outcomes[0] == parse_term("f(b, a)")
+        assert outcomes[1] is None
+        assert outcomes[2] == parse_term("b")
+
+
 class TestMinimizeEquivalent:
     def test_minimize_returns_canonical(self):
         learned = api.learn(FLIP_EXAMPLES)

@@ -101,6 +101,128 @@ class TestLearnApply:
         assert "<xsl:stylesheet" in capsys.readouterr().out
 
 
+class TestBatchApply:
+    @pytest.fixture
+    def saved(self, workspace, capsys):
+        path = workspace / "transform.json"
+        main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+                "--save", str(path),
+                "--compact-lists",
+            ]
+        )
+        capsys.readouterr()
+        return path
+
+    def test_multiple_positional_documents(self, workspace, saved, capsys):
+        docs = []
+        for index in range(3):
+            doc = workspace / f"doc{index}.xml"
+            doc.write_text(serialize_xml(xmlflip_document(index + 1, 2)))
+            docs.append(doc)
+        code = main(["apply", "--transform", str(saved)] + [str(d) for d in docs])
+        assert code == 0
+        captured = capsys.readouterr()
+        for doc in docs:
+            assert f"<!-- {doc} -->" in captured.out
+        assert "3/3 documents transformed" in captured.err
+
+    def test_batch_dir_writes_output_directory(self, workspace, saved, capsys):
+        batch = workspace / "batch"
+        batch.mkdir()
+        for index in range(3):
+            (batch / f"doc{index}.xml").write_text(
+                serialize_xml(xmlflip_document(index + 1, index + 1))
+            )
+        out_dir = workspace / "results"
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                "--batch-dir", str(batch),
+                "--output", str(out_dir),
+            ]
+        )
+        assert code == 0
+        for index in range(3):
+            produced = out_dir / f"doc{index}.out.xml"
+            assert parse_xml(produced.read_text()) == transform_xmlflip(
+                xmlflip_document(index + 1, index + 1)
+            )
+
+    def test_per_document_errors_do_not_abort_batch(self, workspace, saved, capsys):
+        good = workspace / "good.xml"
+        good.write_text(serialize_xml(xmlflip_document(2, 2)))
+        bad = workspace / "bad.xml"
+        bad.write_text("<unexpected/>")
+        unparsable = workspace / "unparsable.xml"
+        unparsable.write_text("<<<not xml")
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                str(bad), str(good), str(unparsable),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert f"<!-- {good} -->" in captured.out
+        assert f"error: {bad}" in captured.err
+        assert f"error: {unparsable}" in captured.err
+        assert "1/3 documents transformed, 2 failed" in captured.err
+
+    def test_no_documents_is_an_error(self, workspace, saved, capsys):
+        assert main(["apply", "--transform", str(saved)]) == 2
+        assert "no input documents" in capsys.readouterr().err
+
+    def test_same_stem_documents_do_not_overwrite(self, workspace, saved, capsys):
+        first_dir = workspace / "x"
+        second_dir = workspace / "y"
+        first_dir.mkdir()
+        second_dir.mkdir()
+        (first_dir / "doc.xml").write_text(serialize_xml(xmlflip_document(1, 1)))
+        (second_dir / "doc.xml").write_text(serialize_xml(xmlflip_document(2, 2)))
+        out_dir = workspace / "collide"
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                str(first_dir / "doc.xml"), str(second_dir / "doc.xml"),
+                "--output", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert parse_xml((out_dir / "doc.out.xml").read_text()) == (
+            transform_xmlflip(xmlflip_document(1, 1))
+        )
+        assert parse_xml((out_dir / "doc.1.out.xml").read_text()) == (
+            transform_xmlflip(xmlflip_document(2, 2))
+        )
+
+    def test_batch_output_must_be_a_directory(self, workspace, saved, capsys):
+        for index in range(2):
+            (workspace / f"d{index}.xml").write_text(
+                serialize_xml(xmlflip_document(1, 1))
+            )
+        existing = workspace / "result.xml"
+        existing.write_text("occupied")
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                str(workspace / "d0.xml"), str(workspace / "d1.xml"),
+                "--output", str(existing),
+            ]
+        )
+        assert code == 2
+        assert "must be a directory" in capsys.readouterr().err
+        assert existing.read_text() == "occupied"
+
+
 class TestBundleRoundTrip:
     def test_save_load(self, workspace, tmp_path):
         from repro.xml.dtd import parse_dtd
