@@ -45,8 +45,12 @@ from typing import Any, Dict, Iterable, Optional, Tuple, Union
 from repro import serialize as _serialize
 from repro.automata.build import local_dtta_from_trees
 from repro.automata.dtta import DTTA
-from repro.engine import engine_for
-from repro.learning.rpni import LearnedDTOP, rpni_dtop
+from repro.engine import (
+    clear_sample_table_caches,
+    engine_for,
+    sample_tables_stats,
+)
+from repro.learning.rpni import LearnedDTOP, clear_learning_memos, rpni_dtop
 from repro.learning.sample import Sample
 from repro.trees.lcp import clear_lcp_cache, lcp_cache_stats
 from repro.trees.tree import Tree, intern_stats, parse_term, reset_intern_stats
@@ -109,6 +113,13 @@ def learn(
     characteristic sample (Definition 31); otherwise
     :class:`~repro.errors.InsufficientSampleError` explains what evidence
     is missing.
+
+    The returned :class:`~repro.learning.rpni.LearnedDTOP` carries a
+    ``stats`` dict with the run's timings (total / validation / merge
+    loop) and cache counters — the compiled sample tables and the
+    signature-bucketed merge index — mirrored by the CLI's
+    ``learn --stats`` flag; :func:`cache_stats` aggregates the global
+    counters.
 
     >>> learned = learn([("f(a, b)", "g(b)"), ("f(b, a)", "g(a)"),
     ...                  ("f(a, a)", "g(a)"), ("f(b, b)", "g(b)")])
@@ -215,7 +226,9 @@ def load(path: str) -> Any:
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
-    """Global cache counters: tree interning and the memoized ``⊔``.
+    """Global cache counters: interning, the memoized ``⊔``, and the
+    sample-table layer (builds vs. incremental extensions, signature
+    bucket hits).
 
     Per-transducer run memos are reported by ``DTOP.cache_stats`` and
     per-sample memos by ``Sample.cache_stats()``.
@@ -223,6 +236,7 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     return {
         "intern": intern_stats(),
         "lcp": lcp_cache_stats(),
+        "sample_tables": sample_tables_stats(),
     }
 
 
@@ -234,3 +248,5 @@ def clear_caches() -> None:
     """
     clear_lcp_cache()
     reset_intern_stats()
+    clear_sample_table_caches()
+    clear_learning_memos()

@@ -50,6 +50,7 @@ class DTTA:
         "_accept_cache",
         "_allowed_cache",
         "_engine",
+        "_canonical",
     )
 
     def __init__(
@@ -84,6 +85,9 @@ class DTTA:
         self._allowed_cache: Dict[State, Tuple[Symbol, ...]] = {}
         # Lazily compiled batch engine (repro.engine.automaton_engine_for).
         self._engine = None
+        # Memoized canonical form (repro.automata.ops.canonical_form);
+        # sound because a DTTA is immutable after construction.
+        self._canonical = None
 
     @property
     def states(self) -> FrozenSet[State]:

@@ -123,12 +123,22 @@ def minimize(automaton: DTTA) -> DTTA:
     return DTTA(trimmed.alphabet, block[trimmed.initial], transitions)
 
 
-def canonical_form(automaton: DTTA) -> DTTA:
+def canonical_form(automaton: DTTA, memoize: bool = True) -> DTTA:
     """Minimize and rename states ``0, 1, 2, …`` in deterministic BFS order.
 
     Two DTTAs accept the same language iff their canonical forms are equal
     (same initial state, same transition map).
+
+    Memoized per instance (DTTAs are immutable): repeated learning runs
+    over the same domain automaton — every active-learning round calls
+    this — canonicalize once and share the result, which also shares the
+    result's compiled membership engine and path caches.  Pass
+    ``memoize=False`` to force a fresh computation (the uncompiled
+    learner path uses this to reproduce the pre-compilation cost model).
     """
+    cached = automaton._canonical
+    if memoize and cached is not None:
+        return cached
     minimal = minimize(automaton)
     order: Dict[State, int] = {minimal.initial: 0}
     queue: List[State] = [minimal.initial]
@@ -139,7 +149,11 @@ def canonical_form(automaton: DTTA) -> DTTA:
                 if child not in order:
                     order[child] = len(order)
                     queue.append(child)
-    return minimal.rename(order)
+    result = minimal.rename(order)
+    if memoize:
+        result._canonical = result
+        automaton._canonical = result
+    return result
 
 
 def equivalent(left: DTTA, right: DTTA) -> bool:

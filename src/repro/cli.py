@@ -5,7 +5,10 @@ Usage (also via ``python -m repro``)::
     # Learn from example pairs and save the transformation:
     python -m repro learn --input-dtd in.dtd --output-dtd out.dtd \
         --examples pairs_dir --save transform.json \
-        [--fuse] [--compact-lists] [--abstract-values]
+        [--fuse] [--compact-lists] [--abstract-values] [--stats]
+
+    # --stats prints the learner's timings and cache counters (compiled
+    # sample tables, signature-bucketed merge index, global caches).
 
     # Apply a saved transformation to one or more documents:
     python -m repro apply --transform transform.json doc.xml
@@ -127,10 +130,44 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         f"learned {transformation.num_states} states / "
         f"{transformation.num_rules} rules from {len(examples)} examples"
     )
+    if args.stats:
+        _print_learning_stats(transformation)
     if args.save:
         save_transformation(transformation, Path(args.save))
         print(f"saved to {args.save}")
     return 0
+
+
+def _print_learning_stats(transformation: XMLTransformation) -> None:
+    """Report the learner's timing and cache counters (``learn --stats``)."""
+    from repro import api
+
+    learned = transformation.learned
+    stats = learned.stats if learned is not None else {}
+    if stats:
+        print(
+            f"stats: RPNI total {stats['total_s'] * 1e3:.1f} ms "
+            f"(validate {stats['validate_s'] * 1e3:.1f} ms, "
+            f"merge loop {stats['loop_s'] * 1e3:.1f} ms), "
+            f"{stats['ok_states']} OK states, {stats['merges']} merges"
+        )
+        tables = stats.get("tables")
+        if tables:
+            print(
+                f"stats: sample tables built {tables['builds']}, "
+                f"extended {tables['extends']}, hits {tables['hits']}, "
+                f"misses {tables['misses']}, refreshes {tables['refreshes']}"
+            )
+        merge_index = stats.get("merge_index")
+        if merge_index:
+            print(
+                f"stats: merge index {merge_index['lookups']} lookups, "
+                f"{merge_index['signature_hits']} signature hits, "
+                f"{merge_index['entries_probed']} residual entries probed"
+            )
+    for name, counters in api.cache_stats().items():
+        line = ", ".join(f"{key} {value}" for key, value in counters.items())
+        print(f"stats: {name}: {line}")
 
 
 def _collect_documents(args: argparse.Namespace) -> List[Path]:
@@ -160,23 +197,9 @@ def _cmd_apply(args: argparse.Namespace) -> int:
             print(output)
         return 0
 
-    # Batch mode: parse what parses, run everything through the engine's
-    # run_batch in one sweep, report per-document errors and continue.
-    documents: List[Optional[object]] = []
-    outcomes: List[object] = [None] * len(paths)
-    for index, path in enumerate(paths):
-        try:
-            documents.append(parse_xml(path.read_text(), ignore_attributes=True))
-        except (OSError, ReproError) as error:
-            outcomes[index] = error
-            documents.append(None)
-    batch = iter(
-        transformation.apply_batch([d for d in documents if d is not None])
-    )
-    for index, document in enumerate(documents):
-        if document is not None:
-            outcomes[index] = next(batch)
-
+    # Batch mode: validate the output target first (before any work),
+    # parse what parses, run everything through the engine's run_batch
+    # in one sweep, report per-document errors and continue.
     out_dir: Optional[Path] = None
     if args.output:
         out_dir = Path(args.output)
@@ -185,6 +208,27 @@ def _cmd_apply(args: argparse.Namespace) -> int:
                 f"--output {out_dir} must be a directory in batch mode"
             )
         out_dir.mkdir(parents=True, exist_ok=True)
+
+    documents: List[Optional[object]] = []
+    outcomes: List[object] = [None] * len(paths)
+    for index, path in enumerate(paths):
+        try:
+            documents.append(parse_xml(path.read_text(), ignore_attributes=True))
+        except (OSError, ValueError, ReproError) as error:
+            # ValueError covers UnicodeDecodeError on non-UTF-8 files.
+            outcomes[index] = error
+            documents.append(None)
+        except RecursionError:
+            outcomes[index] = ReproError(
+                "document parsing exceeded the recursion limit"
+            )
+            documents.append(None)
+    batch = iter(
+        transformation.apply_batch([d for d in documents if d is not None])
+    )
+    for index, document in enumerate(documents):
+        if document is not None:
+            outcomes[index] = next(batch)
     failures = 0
     written: set = set()
     for path, outcome in zip(paths, outcomes):
@@ -240,6 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--fuse", action="store_true")
     learn.add_argument("--compact-lists", action="store_true")
     learn.add_argument("--abstract-values", action="store_true")
+    learn.add_argument(
+        "--stats",
+        action="store_true",
+        help="print learning timings and cache counters "
+        "(sample tables, signature buckets, global caches)",
+    )
     learn.set_defaults(func=_cmd_learn)
 
     apply_cmd = commands.add_parser(

@@ -27,6 +27,17 @@ engine per machine instance (machines are immutable after construction,
 so the compilation never goes stale).  The classic recursive interpreter
 (:meth:`DTOP.apply`, :meth:`DTTA.accepts_from`) remains for origin
 tracking and as the differential-testing reference.
+
+compile the sample (once per sample, extended incrementally)
+    :mod:`repro.engine.sample_tables` is the learning-side analogue:
+    :class:`~repro.engine.sample_tables.SampleTables` lowers a sample
+    into uid-keyed indexes with precomputed residual signatures, and
+    :class:`~repro.engine.sample_tables.MergeIndex` replaces RPNI's
+    border×OK pairwise merge scan with signature-bucketed lookups.
+    :func:`tables_for` caches the tables on the sample;
+    ``Sample.extended_with`` extends them copy-on-write in O(new data).
+    The interpreted methods of
+    :class:`~repro.learning.sample.Sample` remain the reference.
 """
 
 from repro.engine.compile import (
@@ -41,6 +52,15 @@ from repro.engine.execute import (
     automaton_engine_for,
     engine_for,
 )
+from repro.engine.sample_tables import (
+    MergeIndex,
+    SampleTables,
+    clear_sample_table_caches,
+    reset_sample_tables_stats,
+    residual_signature,
+    sample_tables_stats,
+    tables_for,
+)
 
 __all__ = [
     "CompiledDTOP",
@@ -51,4 +71,11 @@ __all__ = [
     "AutomatonEngine",
     "engine_for",
     "automaton_engine_for",
+    "SampleTables",
+    "MergeIndex",
+    "tables_for",
+    "residual_signature",
+    "sample_tables_stats",
+    "reset_sample_tables_stats",
+    "clear_sample_table_caches",
 ]

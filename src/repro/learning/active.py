@@ -236,6 +236,7 @@ def learn_actively(
     domain = canonical_form(domain)
     engine = _QueryEngine(domain, rng, variants_per_state)
     pairs: Dict[Tree, Tree] = {}
+    fresh: List[Tuple[Tree, Tree]] = []
     log: List[str] = []
     membership = 0
 
@@ -247,6 +248,7 @@ def learn_actively(
         output = oracle(tree)
         if output is not None:
             pairs[tree] = output
+            fresh.append((tree, output))
 
     for source, target in initial_examples:
         pairs.setdefault(source, target)
@@ -255,10 +257,21 @@ def learn_actively(
         for member in engine.members_of(domain.initial):
             ask(member)
 
+    # The sample grows *incrementally*: each round extends the previous
+    # sample with the new examples only, so the compiled sample tables
+    # (and every memoized residual/out/io-path answer) carry over — no
+    # per-round full rebuild.  ``Sample.cache_stats`` proves the reuse.
+    sample: Optional[Sample] = None
     equivalence_runs = 0
     for round_index in range(1, max_rounds + 1):
+        if sample is None:
+            sample = Sample(pairs.items())
+            fresh.clear()
+        elif fresh:
+            sample = sample.extended_with(fresh)
+            fresh.clear()
         try:
-            learned = rpni_dtop(Sample(pairs.items()), domain)
+            learned = rpni_dtop(sample, domain)
         except InsufficientSampleError as error:
             queries = engine.queries_for(error)
             if not queries:
@@ -307,13 +320,14 @@ def learn_actively(
             log.append(f"round {round_index}: hypothesis accepted")
             return ActiveLearningResult(
                 learned=learned,
-                sample=Sample(pairs.items()),
+                sample=sample,
                 rounds=round_index,
                 membership_queries=membership,
                 equivalence_tests=equivalence_runs,
                 log=log,
             )
         pairs[counterexample[0]] = counterexample[1]
+        fresh.append(counterexample)
         log.append(
             f"round {round_index}: counterexample of size "
             f"{counterexample[0].size} added"

@@ -52,16 +52,40 @@ class _SampleBuilder:
     def __init__(self, canonical: CanonicalDTOP):
         self.canonical = canonical
         self.sources: Dict[Tree, None] = {}  # insertion-ordered set
+        self._built: Optional[Sample] = None
+        self._consumed = 0
 
     def add(self, source: Tree) -> None:
         self.sources.setdefault(source)
 
     def sample(self) -> Sample:
+        """The accumulated sample; incremental across calls.
+
+        The first call translates every source in one batch sweep and
+        builds the sample; later calls translate only the sources added
+        since and *extend* the previous sample
+        (:meth:`~repro.learning.sample.Sample.extended_with`), so each
+        oracle batch costs O(new data) — the indexes and compiled tables
+        of the existing sample are reused, not rebuilt.
+        (:func:`characteristic_sample` calls this once; incremental
+        callers get pairs ordered by (size, text) *per batch*, appended
+        in batch order — semantically equivalent, since no sample
+        operation depends on pair order.)
+        """
         sources = list(self.sources)
-        outputs = engine_for(self.canonical.dtop).run_batch(sources)
-        return Sample(
-            sorted(zip(sources, outputs), key=lambda st: (st[0].size, str(st[0])))
-        )
+        new = sources[self._consumed :]
+        if self._built is None:
+            outputs = engine_for(self.canonical.dtop).run_batch(new)
+            self._built = Sample(
+                sorted(zip(new, outputs), key=lambda st: (st[0].size, str(st[0])))
+            )
+        elif new:
+            outputs = engine_for(self.canonical.dtop).run_batch(new)
+            self._built = self._built.extended_with(
+                sorted(zip(new, outputs), key=lambda st: (st[0].size, str(st[0])))
+            )
+        self._consumed = len(sources)
+        return self._built
 
 
 def _frontier_entries(

@@ -14,22 +14,31 @@ to an OK state otherwise, which materializes its rules from
 Failures raise :class:`~repro.errors.InsufficientSampleError` with a
 description of the missing evidence, rather than guessing.
 
-Performance: every sample quantity the loop re-asks for — residual maps
-in :func:`~repro.learning.merge.mergeable`, io-path membership during
-rule materialization, ``out_S`` along paths — is memoized on the
-:class:`~repro.learning.sample.Sample` (keyed by interned-tree uids), and
-domain-state lookups are memoized on the DTTA, so the quadratic
-border×OK merge scan touches each distinct quantity once.
+Performance: by default (``compiled=True``) the learner runs on the
+compiled sample tables of :mod:`repro.engine.sample_tables` — flat
+uid-keyed indexes with precomputed residual signatures — and replaces
+the quadratic border×OK merge scan with :class:`~repro.engine.MergeIndex`
+lookups driven by the border state's own residual entries.  Rule
+materialization memoizes its tree walks on interned-node uids, so
+re-learning from an extended sample (the active learner's round loop)
+re-derives only what the new pairs changed.  With ``compiled=False`` the
+pre-compilation path runs instead: the interpreted, per-sample memoized
+methods of :class:`~repro.learning.sample.Sample` and the pairwise
+:func:`~repro.learning.merge.mergeable` scan.  Both paths make the
+byte-identical decisions (states, rules, trace, and errors); property
+tests diff them, and :attr:`LearnedDTOP.stats` records which path ran
+with its timing and cache counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.automata.dtta import DTTA
 from repro.automata.ops import canonical_form
-from repro.engine import automaton_engine_for
+from repro.engine import MergeIndex, automaton_engine_for, tables_for
 from repro.errors import InconsistentSampleError, InsufficientSampleError
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.lcp import BOTTOM_SYMBOL
@@ -43,6 +52,41 @@ from repro.learning.sample import Sample
 
 PathPair = Tuple[Path, Path]
 
+#: Memo caps: wholesale clear on overflow (uids are never reused, so a
+#: stale entry is unreachable, never wrong).
+_MEMO_LIMIT = 1 << 16
+#: ``tree uid → ⊥ leaves as (labeled path, Dewey address)`` — a pure
+#: function of the interned tree, shared across learning runs so
+#: re-learning from an extended sample walks unchanged outputs zero times.
+_BOTTOMS_MEMO: Dict[int, List[Tuple[Path, Tuple[int, ...]]]] = {}
+#: ``(tree uid, sorted (dewey, call-tree uid)) → rhs tree`` for
+#: :func:`_tree_with_calls` — same sharing argument.
+_CALLS_MEMO: Dict[Tuple, Tree] = {}
+#: ``path pair → section-8 order key`` (pure function of the pair).
+_ORDER_KEY_MEMO: Dict[PathPair, object] = {}
+#: Final-assembly memo: (domain, output alphabet, axiom uid, rule uids,
+#: µ) → (renamed DTOP, rename order).  When a re-learning round derives
+#: the identical raw machine — the steady state of the active learner —
+#: µ-resolution, DTOP construction/validation, and the document-order
+#: rename are all skipped.  Instances in the key keep their referents
+#: alive, so the identity-keyed entries can never dangle; capped like
+#: the other memos.
+_RESULT_MEMO: Dict[Tuple, Tuple[DTOP, Dict[PathPair, StateName]]] = {}
+
+
+def clear_learning_memos() -> None:
+    """Drop the module-level learning memos (rule-materialization walks,
+    order keys, final-assembly results).
+
+    These strongly pin interned trees and learned machines; callers
+    bounding memory in long-running processes release them through
+    :func:`repro.api.clear_caches`.  Correctness never depends on this.
+    """
+    _BOTTOMS_MEMO.clear()
+    _CALLS_MEMO.clear()
+    _ORDER_KEY_MEMO.clear()
+    _RESULT_MEMO.clear()
+
 
 @dataclass
 class LearnedDTOP:
@@ -52,13 +96,16 @@ class LearnedDTOP:
     ``state_paths`` maps each of them back to the (least) io-path that
     denotes the state — the paper's *state-io-paths*; ``trace`` records
     the promote/merge decisions in order, for inspection and for
-    reproducing the narrative of Example 7.
+    reproducing the narrative of Example 7; ``stats`` carries the run's
+    timing and cache counters (sample tables, merge index) for the
+    ``--stats`` CLI flag and the benchmarks.
     """
 
     dtop: DTOP
     domain: DTTA
     state_paths: Dict[StateName, PathPair]
     trace: List[str] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def num_states(self) -> int:
@@ -74,8 +121,14 @@ def _subtree_at_labeled(root: Tree, v: Path) -> Optional[Tree]:
     return current
 
 
-def _bottoms_with_paths(node: Tree) -> List[Tuple[Path, Tuple[int, ...]]]:
+def _bottoms_with_paths(
+    node: Tree, memoize: bool = False
+) -> List[Tuple[Path, Tuple[int, ...]]]:
     """All ``⊥`` leaves as (labeled path, Dewey address), document order."""
+    if memoize:
+        cached = _BOTTOMS_MEMO.get(node.uid)
+        if cached is not None:
+            return cached
     found: List[Tuple[Path, Tuple[int, ...]]] = []
 
     def visit(current: Tree, lpath: Path, dewey: Tuple[int, ...]) -> None:
@@ -86,11 +139,24 @@ def _bottoms_with_paths(node: Tree) -> List[Tuple[Path, Tuple[int, ...]]]:
             visit(child, lpath + ((current.label, i),), dewey + (i,))
 
     visit(node, (), ())
+    if memoize:
+        if len(_BOTTOMS_MEMO) >= _MEMO_LIMIT:
+            _BOTTOMS_MEMO.clear()
+        _BOTTOMS_MEMO[node.uid] = found
     return found
 
 
-def _tree_with_calls(node: Tree, calls: Dict[Tuple[int, ...], Tree]) -> Tree:
+def _tree_with_calls(
+    node: Tree, calls: Dict[Tuple[int, ...], Tree], memoize: bool = False
+) -> Tree:
     """Replace the ``⊥`` leaves at the given Dewey addresses by call trees."""
+    key = None
+    if memoize:
+        # Call trees are interned, so their uid determines (target, var).
+        key = (node.uid, tuple(sorted((d, c.uid) for d, c in calls.items())))
+        cached = _CALLS_MEMO.get(key)
+        if cached is not None:
+            return cached
 
     def visit(current: Tree, dewey: Tuple[int, ...]) -> Tree:
         if dewey in calls:
@@ -105,21 +171,35 @@ def _tree_with_calls(node: Tree, calls: Dict[Tuple[int, ...], Tree]) -> Tree:
             ),
         )
 
-    return visit(node, ())
+    result = visit(node, ())
+    if memoize:
+        if len(_CALLS_MEMO) >= _MEMO_LIMIT:
+            _CALLS_MEMO.clear()
+        _CALLS_MEMO[key] = result
+    return result
 
 
-def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
+def rpni_dtop(sample: Sample, domain: DTTA, *, compiled: bool = True) -> LearnedDTOP:
     """Learn ``min(τ)`` from a characteristic sample and the domain DTTA.
 
     Runs in time polynomial in ``|S|`` (Theorem 38).  The ``domain``
     automaton may be any DTTA for ``dom(τ)``; it is canonicalized
     internally so that equal restricted domains become equal states.
+
+    ``compiled`` selects the execution substrate — the compiled sample
+    tables with signature-indexed merging (default), or the interpreted
+    per-sample reference path.  The learned transducer, trace, and error
+    behavior are identical; only the cost model differs.
     """
+    total_start = perf_counter()
     if not len(sample):
         raise InsufficientSampleError("the sample is empty")
-    domain = canonical_form(domain)
+    # The uncompiled path recomputes the canonical domain every call —
+    # the pre-compilation cost model the benchmarks baseline against.
+    domain = canonical_form(domain, memoize=compiled)
     # One compiled batch sweep validates every sample input (shared
     # subtrees are checked once; deep inputs don't hit recursion limits).
+    validate_start = perf_counter()
     sources = [source for source, _target in sample]
     for source, accepted in zip(
         sources, automaton_engine_for(domain).accepts_batch(sources)
@@ -128,8 +208,15 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
             raise InconsistentSampleError(
                 f"sample input {source} is outside the domain language"
             )
+    validate_elapsed = perf_counter() - validate_start
 
-    out_axiom = sample.out(())
+    # The query substrate: compiled tables and the interpreted Sample
+    # expose the same out/out_npath/is_io_path surface.
+    ops = tables_for(sample) if compiled else sample
+    merge_index = MergeIndex(ops) if compiled else None
+    scan_probes = 0
+
+    out_axiom = ops.out(())
     assert out_axiom is not None  # sample is non-empty
     trace: List[str] = []
 
@@ -146,11 +233,11 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
 
     # Axiom: out_S(ε) with a border state per ⊥ (Definition 35 / Qborder).
     axiom_calls: Dict[Tuple[int, ...], Tree] = {}
-    for lpath, dewey in _bottoms_with_paths(out_axiom):
+    for lpath, dewey in _bottoms_with_paths(out_axiom, memoize=compiled):
         target: PathPair = ((), lpath)
         axiom_calls[dewey] = make_call_tree(target, 0)
         border.add(target)
-    raw_axiom = _tree_with_calls(out_axiom, axiom_calls)
+    raw_axiom = _tree_with_calls(out_axiom, axiom_calls, memoize=compiled)
 
     def build_rules_for(p: PathPair) -> None:
         """Materialize all rules of the freshly promoted OK state ``p``."""
@@ -162,7 +249,7 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
             )
         for symbol in domain.allowed_symbols(dstate):
             rank = domain.alphabet.rank(symbol)
-            out_uf = sample.out_npath(u, symbol)
+            out_uf = ops.out_npath(u, symbol)
             if out_uf is None:
                 raise InsufficientSampleError(
                     f"no sample input contains the node-path {u}·{symbol}; "
@@ -181,12 +268,12 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
                     v=v,
                 )
             calls: Dict[Tuple[int, ...], Tree] = {}
-            for rel_lpath, dewey in _bottoms_with_paths(sub):
+            for rel_lpath, dewey in _bottoms_with_paths(sub, memoize=compiled):
                 full_v = v + rel_lpath
                 candidates = [
                     i
                     for i in range(1, rank + 1)
-                    if sample.is_io_path((u + ((symbol, i),), full_v))
+                    if ops.is_io_path((u + ((symbol, i),), full_v))
                 ]
                 if not candidates:
                     raise InsufficientSampleError(
@@ -208,20 +295,24 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
                         candidates=candidates,
                     )
             # Second pass so the error cases above fire before mutation.
-            for rel_lpath, dewey in _bottoms_with_paths(sub):
+            for rel_lpath, dewey in _bottoms_with_paths(sub, memoize=compiled):
                 full_v = v + rel_lpath
                 i = next(
                     i
                     for i in range(1, rank + 1)
-                    if sample.is_io_path((u + ((symbol, i),), full_v))
+                    if ops.is_io_path((u + ((symbol, i),), full_v))
                 )
                 target = (u + ((symbol, i),), full_v)
                 calls[dewey] = make_call_tree(target, i)
                 if target not in border and target not in mu and target not in ok:
                     border.add(target)
-            raw_rules[(p, symbol)] = _tree_with_calls(sub, calls)
+            raw_rules[(p, symbol)] = _tree_with_calls(sub, calls, memoize=compiled)
 
-    order_keys: Dict[PathPair, object] = {}
+    # Order keys are pure functions of the path pair: the compiled path
+    # shares them across runs (re-learning revisits the same pairs).
+    order_keys: Dict[PathPair, object] = _ORDER_KEY_MEMO if compiled else {}
+    if compiled and len(order_keys) >= _MEMO_LIMIT:
+        order_keys.clear()
 
     def border_key(q: PathPair) -> object:
         key = order_keys.get(q)
@@ -230,10 +321,15 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
             order_keys[q] = key
         return key
 
+    loop_start = perf_counter()
     while border:
         p = min(border, key=border_key)
         border.remove(p)
-        candidates = [q for q in ok if mergeable(sample, domain, p, q)]
+        if merge_index is not None:
+            candidates = merge_index.candidates(p, domain.state_at_path(p[0]))
+        else:
+            scan_probes += len(ok)
+            candidates = [q for q in ok if mergeable(sample, domain, p, q)]
         if len(candidates) > 1:
             raise InsufficientSampleError(
                 f"border state {p} is mergeable with {len(candidates)} OK "
@@ -250,6 +346,9 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
             ok.append(p)
             trace.append(f"promote {p}")
             build_rules_for(p)
+            if merge_index is not None:
+                merge_index.add_ok(p, domain.state_at_path(p[0]))
+    loop_elapsed = perf_counter() - loop_start
 
     def resolve(target: PathPair) -> PathPair:
         while target in mu:
@@ -263,13 +362,55 @@ def rpni_dtop(sample: Sample, domain: DTTA) -> LearnedDTOP:
             return node
         return Tree(node.label, tuple(resolve_tree(c) for c in node.children))
 
-    output_alphabet = RankedAlphabet.from_trees([t for _, t in sample])
-    raw = DTOP(
-        domain.alphabet,
-        output_alphabet,
-        resolve_tree(raw_axiom),
-        {key: resolve_tree(rhs) for key, rhs in raw_rules.items()},
-    )
-    renamed, order = _document_order_rename(raw)
+    if compiled:
+        output_alphabet = ops.output_alphabet()
+    else:
+        output_alphabet = RankedAlphabet.from_trees([t for _, t in sample])
+    # Final assembly: resolving µ, constructing (and re-validating) the
+    # DTOP, and the document-order rename depend only on the raw
+    # artifacts — all interned — so a re-learning round that derived the
+    # identical machine is a single dict hit.
+    result_key = None
+    if compiled:
+        result_key = (
+            domain,
+            output_alphabet,
+            raw_axiom.uid,
+            tuple((p, f, rhs.uid) for (p, f), rhs in raw_rules.items()),
+            tuple(mu.items()),
+        )
+        cached_result = _RESULT_MEMO.get(result_key)
+        if cached_result is not None:
+            renamed, order = cached_result
+        else:
+            renamed = None
+    else:
+        renamed = None
+    if renamed is None:
+        raw = DTOP(
+            domain.alphabet,
+            output_alphabet,
+            resolve_tree(raw_axiom),
+            {key: resolve_tree(rhs) for key, rhs in raw_rules.items()},
+        )
+        renamed, order = _document_order_rename(raw)
+        if result_key is not None:
+            if len(_RESULT_MEMO) >= _MEMO_LIMIT:
+                _RESULT_MEMO.clear()
+            _RESULT_MEMO[result_key] = (renamed, order)
     state_paths = {order[p]: p for p in ok if p in order}
-    return LearnedDTOP(renamed, domain, state_paths, trace)
+    stats: Dict[str, object] = {
+        "compiled": compiled,
+        "total_s": perf_counter() - total_start,
+        "validate_s": validate_elapsed,
+        "loop_s": loop_elapsed,
+        "ok_states": len(ok),
+        "merges": len(mu),
+        "sample": sample.cache_stats(),
+    }
+    if merge_index is not None:
+        stats["merge_index"] = merge_index.stats
+        stats["tables"] = ops.stats
+    else:
+        stats["merge_scan_probes"] = scan_probes
+    return LearnedDTOP(renamed, domain, state_paths, trace, stats)

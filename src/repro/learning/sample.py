@@ -14,6 +14,19 @@ underlying ``⊔`` computations hit the global memoized lcp, so the RPNI
 merge loop (which probes the same path pairs once per merge candidate)
 does each piece of work once.  :meth:`Sample.cache_stats` exposes the
 hit/miss counters.
+
+Two implementations coexist.  The methods on this class are the
+*interpreted reference*: direct transcriptions of the paper's
+definitions, memoized but rebuilt per sample.  The hot learning path
+runs on the *compiled tables* instead
+(:mod:`repro.engine.sample_tables`): flat uid-keyed indexes with
+precomputed residual signatures, obtained via
+:func:`repro.engine.tables_for` and cached on the sample.
+:meth:`extended_with` grows a sample **incrementally** — the new sample
+reuses the parent's compiled tables, appending only the new pairs'
+entries instead of rebuilding every index — which makes each
+counterexample round of the active learner O(new data).  The reference
+methods double as the differential-testing oracle for the tables.
 """
 
 from __future__ import annotations
@@ -68,6 +81,9 @@ class Sample:
             Dict[Path, List[Tuple[Tree, Tree, Tree]]]
         ] = None
         self._stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        # Compiled flat tables (repro.engine.sample_tables), built on
+        # first use via tables_for() and threaded through extended_with.
+        self._tables = None
 
     def _path_index(self, root: Tree) -> Dict[Path, Tree]:
         """All ``(labeled path, subtree)`` of a tree, as a dict; memoized."""
@@ -119,8 +135,65 @@ class Sample:
         return self._map.get(source)
 
     def merged_with(self, other: Iterable[Tuple[Tree, Tree]]) -> "Sample":
-        """A new sample with the union of the pairs (checks consistency)."""
-        return Sample(tuple(self._pairs) + tuple(other))
+        """A new sample with the union of the pairs (checks consistency).
+
+        When ``other`` adds nothing new — it is empty, or every pair is
+        already present — ``self`` is returned unchanged, keeping all
+        memoized residual/io-path caches and compiled tables alive
+        instead of discarding them for a no-op merge.
+        """
+        return self.extended_with(other)
+
+    def extended_with(self, other: Iterable[Tuple[Tree, Tree]]) -> "Sample":
+        """Grow the sample incrementally: append pairs, reuse all indexes.
+
+        Only the genuinely new pairs are validated (duplicates collapse;
+        a conflicting output raises
+        :class:`~repro.errors.InconsistentSampleError` exactly as
+        construction would).  The result shares the parent's per-tree
+        path indexes, and when the parent's compiled tables
+        (:mod:`repro.engine.sample_tables`) exist they are *extended*
+        copy-on-write rather than rebuilt: all recomputation is
+        proportional to the new data (plus pointer-level dict copies of
+        the existing indexes — no tree walks).  Returns ``self`` when
+        nothing new is added.
+        """
+        additions: List[Tuple[Tree, Tree]] = []
+        known = self._map
+        fresh: Dict[Tree, Tree] = {}
+        for source, target in other:
+            existing = known.get(source)
+            if existing is None:
+                existing = fresh.get(source)
+            if existing is not None:
+                if existing != target:
+                    raise InconsistentSampleError(
+                        f"two outputs for the same input {source}"
+                    )
+                continue
+            fresh[source] = target
+            additions.append((source, target))
+        if not additions:
+            return self
+        child = Sample.__new__(Sample)
+        child._pairs = self._pairs + tuple(additions)
+        child._map = dict(self._map)
+        child._map.update(fresh)
+        child._out_cache = {}
+        child._residual_cache = {}
+        child._residual_map_cache = {}
+        child._io_path_cache = {}
+        # uid-keyed pure function of interned trees: safe to share (new
+        # entries added through the child are equally valid for self).
+        child._path_index_cache = self._path_index_cache
+        child._by_input_path = None
+        child._stats = {"hits": 0, "misses": 0}
+        child._tables = (
+            self._tables.extended(additions)
+            if self._tables is not None
+            else None
+        )
+        return child
 
     @property
     def total_nodes(self) -> int:
@@ -294,8 +367,19 @@ class Sample:
         return self.residual_functional(p)
 
     def cache_stats(self) -> Dict[str, int]:
-        """Combined hit/miss counters of the sample's memo caches."""
-        return dict(self._stats)
+        """Combined hit/miss counters of the sample's memo caches.
+
+        When the compiled tables exist, their per-chain counters are
+        included under ``tables_*`` keys — ``tables_builds`` /
+        ``tables_extends`` prove whether a growing sample chain was
+        compiled once and extended (the active learner's contract) or
+        rebuilt from scratch.
+        """
+        stats = dict(self._stats)
+        if self._tables is not None:
+            for key, value in self._tables.stats.items():
+                stats[f"tables_{key}"] = value
+        return stats
 
     def __repr__(self) -> str:
         return f"Sample({len(self._pairs)} pairs, {self.total_nodes} nodes)"

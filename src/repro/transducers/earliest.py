@@ -26,7 +26,7 @@ from repro.automata.dtta import DTTA, State as DState
 from repro.automata.ops import minimal_witness_trees
 from repro.errors import TransducerError
 from repro.trees.alphabet import RankedAlphabet
-from repro.trees.lcp import BOTTOM, bottom_positions, is_bottom, lcp_many
+from repro.trees.lcp import BOTTOM, bottom_positions, is_bottom, lcp, lcp_many
 from repro.trees.tree import Tree
 from repro.transducers.domain import effective_domain
 from repro.transducers.dtop import DTOP
@@ -96,6 +96,69 @@ def reachable_pairs(transducer: DTOP, domain: DTTA) -> Set[Pair]:
     return seen
 
 
+#: Instruction opcodes of the compiled fixpoint templates (postorder,
+#: replayed with an operand stack — same shape as repro.engine.compile).
+_FP_CONST = 0  # operand: a ground (call-free) output subtree
+_FP_CALL = 1  # operand: the (q', d_i) pair whose table value to push
+_FP_MAKE = 2  # operands: (label, arity)
+
+
+def _compile_fixpoint_rhs(
+    rhs: Tree, children: Tuple[DState, ...]
+) -> Tuple[Tuple, ...]:
+    """Flatten ``rhs[⟨q',x_i⟩ ← out(q',d_i)]`` into a postorder template.
+
+    Call-free subtrees collapse to one ``_FP_CONST``; each call becomes a
+    ``_FP_CALL`` naming the ``(q', d_i)`` table slot directly, so every
+    fixpoint round replays the template iteratively instead of
+    re-walking the rhs tree recursively.
+    """
+    # Imported at call time, like out_table's engine import (cycle note
+    # there); shares the engine compiler's has-call analysis.
+    from repro.engine.compile import _call_flags
+
+    has_call = _call_flags(rhs)
+    program: List[Tuple] = []
+    walk: List[Tuple[Tree, bool]] = [(rhs, False)]
+    while walk:
+        node, expanded = walk.pop()
+        if expanded:
+            program.append((_FP_MAKE, node.label, len(node.children)))
+            continue
+        if not has_call[node.uid]:
+            program.append((_FP_CONST, node))
+            continue
+        label = node.label
+        if isinstance(label, Call):
+            program.append((_FP_CALL, (label.state, children[label.var - 1])))
+            continue
+        walk.append((node, True))
+        for child in reversed(node.children):
+            walk.append((child, False))
+    return tuple(program)
+
+
+def _replay_fixpoint(program: Tuple[Tuple, ...], table: Dict[Pair, Tree]) -> Tree:
+    """Instantiate one compiled template under the current table."""
+    operands: List[Tree] = []
+    push = operands.append
+    for instruction in program:
+        opcode = instruction[0]
+        if opcode == _FP_CONST:
+            push(instruction[1])
+        elif opcode == _FP_CALL:
+            push(table[instruction[1]])
+        else:  # _FP_MAKE
+            arity = instruction[2]
+            if arity:
+                made = Tree(instruction[1], tuple(operands[-arity:]))
+                del operands[-arity:]
+            else:
+                made = Tree(instruction[1], ())
+            push(made)
+    return operands[-1]
+
+
 def out_table(transducer: DTOP, domain: Optional[DTTA] = None) -> Dict[Pair, Tree]:
     """``out(q, d)`` for every reachable pair — the ``⊔`` of all outputs.
 
@@ -106,9 +169,75 @@ def out_table(transducer: DTOP, domain: Optional[DTTA] = None) -> Dict[Pair, Tre
     is the same tree through recursion admits both the true constant and
     the trivial ``⊥``), and the *largest* one is the right value.  We
     therefore start from a concrete over-approximation — the actual
-    output on a minimal witness tree of each domain state — and iterate
-    ``T ← T ⊓ F(T)`` downward; the limit is exactly the pointwise ``⊔``
-    of all outputs (greatest fixpoint below the start).
+    output on a minimal witness tree of each domain state, evaluated on
+    the compiled batch engine — and iterate downward to the greatest
+    fixpoint below the start.
+
+    The iteration is compiled: each (q, d, f) right-hand side is
+    flattened **once** into a postorder instruction template over the
+    shared hash-consed DAG (call-free subtrees collapse to constants,
+    calls address table slots directly), and a worklist then re-evaluates
+    only the pairs whose dependencies actually changed — chaotic
+    iteration of a monotone decreasing operator, whose limit is
+    order-independent and equal to the round-based Kleene sweep the
+    interpreted reference (:func:`_out_table_reference`) computes.  All
+    ``⊔`` steps hit the global uid-pair memo of :mod:`repro.trees.lcp`.
+    """
+    # Imported here: this module is pulled in by the package __init__,
+    # before repro.engine (which imports repro.transducers.rhs) exists.
+    from repro.engine import engine_for
+
+    if domain is None:
+        domain = effective_domain(transducer)
+    pairs = reachable_pairs(transducer, domain)
+    witnesses = minimal_witness_trees(domain)
+    engine = engine_for(transducer)
+    table: Dict[Pair, Tree] = {
+        (q, d): engine.eval_state(q, witnesses[d]) for q, d in pairs
+    }
+    templates: Dict[Pair, List[Tuple[Tuple, ...]]] = {}
+    dependents: Dict[Pair, List[Pair]] = {}
+    for pair in pairs:
+        q, d = pair
+        programs: List[Tuple[Tuple, ...]] = []
+        for symbol in domain.allowed_symbols(d):
+            children = domain.transitions[(d, symbol)]
+            program = _compile_fixpoint_rhs(transducer.rules[(q, symbol)], children)
+            programs.append(program)
+            for instruction in program:
+                if instruction[0] == _FP_CALL:
+                    dependents.setdefault(instruction[1], []).append(pair)
+        templates[pair] = programs
+    pending: List[Pair] = sorted(pairs, key=lambda qd: (str(qd[0]), repr(qd[1])))
+    queued: Set[Pair] = set(pending)
+    cursor = 0
+    while cursor < len(pending):
+        pair = pending[cursor]
+        cursor += 1
+        queued.discard(pair)
+        current = table[pair]
+        updated = current
+        for program in templates[pair]:
+            updated = lcp(updated, _replay_fixpoint(program, table))
+            if is_bottom(updated):
+                break  # ⊥ is the least element; no candidate lowers it
+        if updated is not current:
+            table[pair] = updated
+            for dependent in dependents.get(pair, ()):
+                if dependent not in queued:
+                    queued.add(dependent)
+                    pending.append(dependent)
+    return table
+
+
+def _out_table_reference(
+    transducer: DTOP, domain: Optional[DTTA] = None
+) -> Dict[Pair, Tree]:
+    """The round-based Kleene iteration of ``out(q, d)``, uncompiled.
+
+    Kept as the differential-testing reference for :func:`out_table`:
+    recursive ``_subst_calls`` substitution, full sweeps until
+    stabilization, interpreter-evaluated seeds.
     """
     if domain is None:
         domain = effective_domain(transducer)
@@ -117,10 +246,6 @@ def out_table(transducer: DTOP, domain: Optional[DTTA] = None) -> Dict[Pair, Tre
     table: Dict[Pair, Tree] = {
         (q, d): transducer.apply_state(q, witnesses[d]) for q, d in pairs
     }
-    # Each Kleene iteration recomputes ⊔ over largely unchanged candidate
-    # sets; the memoized lcp (repro.trees.lcp) turns those repeats into
-    # cache hits, and interning turns the convergence test into an
-    # identity check.
     changed = True
     while changed:
         changed = False

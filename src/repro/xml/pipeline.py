@@ -96,6 +96,14 @@ class XMLTransformation:
             except ReproError as error:
                 prepared.append(error)
                 continue
+            except RecursionError:
+                prepared.append(
+                    ReproError(
+                        "document encoding exceeded the recursion limit "
+                        "(the DTD encoder is recursive)"
+                    )
+                )
+                continue
             prepared.append((encoded, values))
             if not values:
                 engine_inputs.append(encoded)
