@@ -50,6 +50,7 @@ from repro.engine import (
     engine_for,
     sample_tables_stats,
 )
+from repro.errors import UndefinedTransductionError
 from repro.learning.rpni import LearnedDTOP, clear_learning_memos, rpni_dtop
 from repro.learning.sample import Sample
 from repro.trees.lcp import clear_lcp_cache, lcp_cache_stats
@@ -147,8 +148,26 @@ def run(transducer: TransducerLike, tree: TreeLike) -> Tree:
     return engine_for(_as_dtop(transducer)).run(parse_tree(tree))
 
 
+def _batch_outcomes(
+    transducer: TransducerLike,
+    trees: Iterable[TreeLike],
+    parallel: Optional[int],
+) -> list:
+    """Per-input outcomes, serial or through a sharded worker pool."""
+    machine = _as_dtop(transducer)
+    forest = [parse_tree(tree) for tree in trees]
+    if parallel is not None and parallel > 1:
+        from repro.serve import TransformService
+
+        with TransformService(machine, jobs=parallel) as service:
+            return list(service.map(forest))
+    return engine_for(machine).run_batch_outcomes(forest)
+
+
 def run_batch(
-    transducer: TransducerLike, trees: Iterable[TreeLike]
+    transducer: TransducerLike,
+    trees: Iterable[TreeLike],
+    parallel: Optional[int] = None,
 ) -> list:
     """Apply a transducer to a whole forest in one bottom-up sweep.
 
@@ -159,23 +178,47 @@ def run_batch(
     any input is outside the domain; use :func:`try_run_batch` for
     per-input outcomes.
 
+    With ``parallel=N`` (N > 1) the forest is sharded across ``N``
+    worker processes through :class:`~repro.serve.service.TransformService`
+    — compiled tables shipped once per worker, DAG-aware cost-balanced
+    chunks, outputs and errors byte-identical to the serial path (the
+    repeated-structure memoization then applies per shard rather than
+    globally).
+
     >>> learned = learn([("f(a, b)", "g(b)"), ("f(b, a)", "g(a)"),
     ...                  ("f(a, a)", "g(a)"), ("f(b, b)", "g(b)")])
     >>> [str(t) for t in run_batch(learned, ["f(a, b)", "f(b, b)"])]
     ['g(b)', 'g(b)']
     """
-    return engine_for(_as_dtop(transducer)).run_batch(
-        [parse_tree(tree) for tree in trees]
-    )
+    outcomes = _batch_outcomes(transducer, trees, parallel)
+    for outcome in outcomes:
+        if isinstance(outcome, Exception):
+            raise outcome
+    return outcomes
 
 
 def try_run_batch(
-    transducer: TransducerLike, trees: Iterable[TreeLike]
+    transducer: TransducerLike,
+    trees: Iterable[TreeLike],
+    parallel: Optional[int] = None,
 ) -> list:
-    """Like :func:`run_batch`, but undefined inputs yield ``None``."""
-    return engine_for(_as_dtop(transducer)).try_run_batch(
-        [parse_tree(tree) for tree in trees]
-    )
+    """Like :func:`run_batch`, but undefined inputs yield ``None``.
+
+    ``None`` strictly means *outside the transducer's domain*.  An
+    infrastructure failure on the parallel path (a worker crash that
+    exhausted its retry — :class:`~repro.errors.ServiceError`) is
+    raised instead: the affected inputs may well be inside the domain,
+    and silently reporting them as undefined would misclassify them.
+    """
+    results = []
+    for outcome in _batch_outcomes(transducer, trees, parallel):
+        if isinstance(outcome, UndefinedTransductionError):
+            results.append(None)
+        elif isinstance(outcome, Exception):
+            raise outcome
+        else:
+            results.append(outcome)
+    return results
 
 
 def minimize(

@@ -18,7 +18,19 @@ Usage (also via ``python -m repro``)::
 
     # Batch mode (several documents and/or --batch-dir) translates all
     # encoded documents in one compiled-engine sweep; failures are
-    # reported per document without aborting the batch.
+    # reported per document without aborting the batch.  Add --jobs N to
+    # shard the sweep across N worker processes.
+
+    # Stream mode: one file (or -) whose root element wraps the
+    # documents; they are parsed incrementally and transformed without
+    # materializing the stream:
+    python -m repro apply --transform transform.json --stream batch.xml \
+        --jobs 4 --output out_dir
+
+    # The serve command is the same streaming engine with throughput
+    # statistics — point it at a stream file or stdin:
+    python -m repro serve --transform transform.json --input batch.xml \
+        --jobs 4 --chunk-docs 64 --output out_dir --stats
 
     # Show a saved transducer as an XSLT-like stylesheet:
     python -m repro show --transform transform.json
@@ -33,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -176,7 +189,11 @@ def _collect_documents(args: argparse.Namespace) -> List[Path]:
         directory = Path(args.batch_dir)
         if not directory.is_dir():
             raise ReproError(f"--batch-dir {directory} is not a directory")
-        paths.extend(sorted(directory.glob("*.xml")))
+        # glob order is filesystem-dependent and Path ordering is
+        # platform-dependent (case folding on Windows); sort the plain
+        # names so batch order, per-document error reports, and exit
+        # codes are stable everywhere.
+        paths.extend(sorted(directory.glob("*.xml"), key=lambda p: p.name))
     if not paths:
         raise ReproError("no input documents (pass files or --batch-dir)")
     return paths
@@ -184,6 +201,19 @@ def _collect_documents(args: argparse.Namespace) -> List[Path]:
 
 def _cmd_apply(args: argparse.Namespace) -> int:
     transformation = load_transformation(Path(args.transform))
+    if args.stream:
+        if args.batch_dir:
+            raise ReproError("--stream and --batch-dir are mutually exclusive")
+        if len(args.documents) != 1:
+            raise ReproError("--stream takes exactly one stream file (or -)")
+        return _serve_stream(
+            transformation,
+            args.documents[0],
+            jobs=args.jobs,
+            output=args.output,
+            chunk_docs=args.chunk_docs,
+            stats=False,
+        )
     paths = _collect_documents(args)
 
     if len(paths) == 1 and not args.batch_dir:
@@ -224,7 +254,9 @@ def _cmd_apply(args: argparse.Namespace) -> int:
             )
             documents.append(None)
     batch = iter(
-        transformation.apply_batch([d for d in documents if d is not None])
+        transformation.apply_batch(
+            [d for d in documents if d is not None], jobs=args.jobs
+        )
     )
     for index, document in enumerate(documents):
         if document is not None:
@@ -256,6 +288,82 @@ def _cmd_apply(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 1 if failures else 0
+
+
+def _serve_stream(
+    transformation: XMLTransformation,
+    source: str,
+    jobs: Optional[int],
+    output: Optional[str],
+    chunk_docs: int,
+    stats: bool,
+) -> int:
+    """Shared engine of ``serve`` and ``apply --stream``.
+
+    Parses the stream incrementally (documents are the direct children
+    of the stream's root element), transforms it chunk-wise — sharded
+    across ``jobs`` workers when requested — and writes outcomes as they
+    complete.  Per-document failures are reported without aborting; the
+    exit code is 1 when any document failed.
+    """
+    from repro.serve.stream import iter_stream_documents
+
+    out_dir: Optional[Path] = None
+    if output:
+        out_dir = Path(output)
+        if out_dir.exists() and not out_dir.is_dir():
+            raise ReproError(f"--output {out_dir} must be a directory")
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    if source == "-":
+        documents = iter_stream_documents(sys.stdin.buffer)
+    else:
+        documents = iter_stream_documents(Path(source))
+
+    count = 0
+    failures = 0
+    start = time.perf_counter()
+    for index, outcome in enumerate(
+        transformation.apply_stream(documents, jobs=jobs, chunk_docs=chunk_docs)
+    ):
+        count += 1
+        if isinstance(outcome, Exception):
+            failures += 1
+            print(f"error: document #{index + 1}: {outcome}", file=sys.stderr)
+            continue
+        rendered = serialize_xml(outcome)
+        if out_dir is not None:
+            (out_dir / f"doc{index + 1:06d}.out.xml").write_text(rendered + "\n")
+        else:
+            print(f"<!-- document #{index + 1} -->")
+            print(rendered)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{count - failures}/{count} documents transformed"
+        + (f", {failures} failed" if failures else ""),
+        file=sys.stderr,
+    )
+    if stats:
+        rate = count / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"stats: {count} documents in {elapsed:.2f} s "
+            f"({rate:.0f} docs/s, jobs={jobs or 1}, "
+            f"chunk={chunk_docs})",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    transformation = load_transformation(Path(args.transform))
+    return _serve_stream(
+        transformation,
+        args.input,
+        jobs=args.jobs,
+        output=args.output,
+        chunk_docs=args.chunk_docs,
+        stats=args.stats,
+    )
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -308,7 +416,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="output file (single document) or output directory (batch); "
         "batch results are written as NAME.out.xml",
     )
+    apply_cmd.add_argument(
+        "--jobs",
+        type=int,
+        help="shard batch translation across N worker processes",
+    )
+    apply_cmd.add_argument(
+        "--stream",
+        action="store_true",
+        help="treat the single input file (or -) as a document stream: "
+        "the direct children of its root element are transformed "
+        "incrementally, without materializing the stream",
+    )
+    apply_cmd.add_argument(
+        "--chunk-docs",
+        type=int,
+        default=64,
+        help="documents per dispatched chunk in --stream mode",
+    )
     apply_cmd.set_defaults(func=_cmd_apply)
+
+    serve = commands.add_parser(
+        "serve",
+        help="stream-transform a batch stream through the sharded service",
+    )
+    serve.add_argument("--transform", required=True)
+    serve.add_argument(
+        "--input",
+        required=True,
+        help="stream file whose root element wraps the documents, or - "
+        "for stdin",
+    )
+    serve.add_argument(
+        "--jobs", type=int, help="worker processes (default: in-process)"
+    )
+    serve.add_argument(
+        "--chunk-docs", type=int, default=64, help="documents per chunk"
+    )
+    serve.add_argument(
+        "--output", help="directory for docNNNNNN.out.xml results"
+    )
+    serve.add_argument(
+        "--stats", action="store_true", help="print throughput statistics"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     show = commands.add_parser("show", help="print a saved transducer")
     show.add_argument("--transform", required=True)

@@ -44,6 +44,17 @@ class DomainError(ReproError):
     """An input tree lies outside the domain language under consideration."""
 
 
+class ServiceError(ReproError):
+    """A sharded transformation service lost a document to infrastructure.
+
+    Raised (or recorded as a per-document outcome) by
+    :mod:`repro.serve.service` when a worker process died while holding a
+    chunk and the retry budget is exhausted.  Distinct from
+    :class:`UndefinedTransductionError`: the input may well be inside the
+    transducer's domain — the *service*, not the transduction, failed.
+    """
+
+
 class LearningError(ReproError):
     """The learning algorithm could not complete."""
 

@@ -1,0 +1,340 @@
+"""The sharded, parallel transformation service.
+
+:class:`TransformService` runs one compiled transducer over arbitrarily
+many input trees, optionally across a pool of worker processes:
+
+* inputs are grouped into chunks (``chunk_size`` documents, cut further
+  by the DAG-aware :func:`~repro.serve.shard.chunk_forest` when a whole
+  forest is mapped at once);
+* the compiled engine tables are packed **once**
+  (:func:`~repro.serve.shard.pack_engine`) and shipped to every worker
+  by the pool initializer — workers never re-compile and never see the
+  source machine;
+* at most ``max_pending`` chunks are in flight: :meth:`submit` blocks
+  once the bound is reached, which is the service's backpressure — a
+  slow pool throttles a fast producer instead of buffering the world;
+* results come back **in submission order** with per-document outcomes
+  exactly matching :meth:`Engine.run_batch_outcomes` — an output tree,
+  or the interpreter-identical
+  :class:`~repro.errors.UndefinedTransductionError`;
+* a worker crash breaks every in-flight chunk; each is retried once on
+  a fresh pool, and a chunk that dies twice (it carries the poison
+  document) resolves to per-document :class:`~repro.errors.ServiceError`
+  outcomes instead of taking the service down;
+* :meth:`DTOP.clear_caches <repro.transducers.dtop.DTOP.clear_caches>`
+  invalidates the machine's compiled engine; the service notices the
+  stale handle at the next dispatch, re-packs the tables, and restarts
+  the pool, so a live pool can never serve stale tables.
+
+With ``jobs`` ≤ 1 the service degrades to the in-process engine with
+identical semantics (and zero serialization) — the differential tests
+pin parallel ≡ serial byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.engine import engine_for
+from repro.errors import ServiceError, UndefinedTransductionError
+from repro.serve import shard
+from repro.trees.tree import Tree
+from repro.transducers.dtop import DTOP
+
+#: What one document resolves to.
+Outcome = Union[Tree, UndefinedTransductionError, ServiceError]
+
+#: Retries per chunk after a pool break before giving up on it.
+MAX_CHUNK_RETRIES = 1
+
+
+def _pool_context():
+    """Fork when the platform has it (cheap, inherits the payload page
+    cache); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+class _Chunk:
+    """One dispatched chunk: its inputs and eventually its outcomes."""
+
+    __slots__ = ("trees", "future", "executor", "outcomes", "attempts")
+
+    def __init__(self, trees: List[Tree]):
+        self.trees = trees
+        self.future = None
+        self.executor = None  # the pool the future was submitted to
+        self.outcomes: Optional[List[Outcome]] = None
+        self.attempts = 0
+
+
+class TransformService:
+    """Submit/iterate/close interface over a sharded transducer pool.
+
+    Use as a context manager, or call :meth:`close` explicitly::
+
+        with TransformService(machine, jobs=4) as service:
+            for outcome in service.map(forest):
+                ...
+
+    ``jobs``
+        worker processes; ``None``/``0``/``1`` run in-process.
+    ``chunk_size``
+        documents per dispatched chunk on the :meth:`submit` path.
+    ``max_pending``
+        chunks allowed in flight before :meth:`submit` blocks
+        (default ``2 × jobs``).
+    """
+
+    def __init__(
+        self,
+        transducer: DTOP,
+        jobs: Optional[int] = None,
+        chunk_size: int = 32,
+        max_pending: Optional[int] = None,
+    ):
+        if chunk_size < 1:
+            raise ServiceError("chunk_size must be at least 1")
+        self._transducer = transducer
+        self.jobs = max(1, jobs or 1)
+        self.chunk_size = chunk_size
+        self.max_pending = max_pending if max_pending else 2 * self.jobs
+        self._parallel = self.jobs > 1
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._payload: Optional[tuple] = None
+        self._source_engine = None
+        self._pending_docs: List[Tree] = []
+        self._inflight: Deque[_Chunk] = deque()
+        #: Sub-queue of ``_inflight``: chunks whose future is unresolved.
+        #: Resolution is strictly oldest-first, so this is a suffix.
+        self._unresolved: Deque[_Chunk] = deque()
+        self._closed = False
+        self._stats: Dict[str, int] = {
+            "chunks": 0,
+            "documents": 0,
+            "errors": 0,
+            "crashes": 0,
+            "pool_restarts": 0,
+            "repacks": 0,
+        }
+        self._shard_stats: Dict[int, Dict[str, int]] = {}
+
+    # -- pool management ------------------------------------------------
+
+    def _ensure_fresh(self) -> None:
+        """(Re)pack tables and (re)start the pool when the machine's
+        engine handle changed — the ``clear_caches`` invalidation path."""
+        engine = engine_for(self._transducer)
+        if engine is self._source_engine:
+            return
+        self._source_engine = engine
+        if self._parallel:
+            self._payload = shard.pack_engine(engine.compiled)
+            self._stats["repacks"] += 1
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+                self._stats["pool_restarts"] += 1
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_pool_context(),
+                initializer=shard.init_worker,
+                initargs=(self._payload,),
+            )
+        return self._executor
+
+    def _restart_pool(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._stats["pool_restarts"] += 1
+
+    # -- dispatch and collection ----------------------------------------
+
+    def _dispatch(self, trees: List[Tree]) -> None:
+        if not trees:
+            return
+        self._ensure_fresh()
+        chunk = _Chunk(trees)
+        self._stats["chunks"] += 1
+        self._stats["documents"] += len(trees)
+        if self._parallel:
+            # Backpressure: block until the pool has room for this chunk
+            # (resolved-but-unconsumed chunks no longer hold pool slots).
+            while len(self._unresolved) >= self.max_pending:
+                self._resolve(self._unresolved[0])
+            encoded = shard.encode_forest(trees)
+            try:
+                chunk.future = self._pool().submit(
+                    shard.worker_translate, encoded
+                )
+            except BrokenProcessPool:
+                # The pool died under an earlier chunk and nothing has
+                # collected the break yet; dispatch on a fresh one.
+                self._stats["crashes"] += 1
+                self._restart_pool()
+                chunk.future = self._pool().submit(
+                    shard.worker_translate, encoded
+                )
+            chunk.executor = self._executor
+            chunk.attempts += 1
+            self._unresolved.append(chunk)
+        else:
+            chunk.outcomes = list(
+                self._source_engine.run_batch_outcomes(trees)
+            )
+        self._inflight.append(chunk)
+
+    def _resolve(self, chunk: _Chunk) -> None:
+        """Block until ``chunk`` has outcomes, handling pool breakage."""
+        if chunk.outcomes is not None:
+            return
+        try:
+            self._resolve_future(chunk)
+        finally:
+            if self._unresolved and self._unresolved[0] is chunk:
+                self._unresolved.popleft()
+
+    def _resolve_future(self, chunk: _Chunk) -> None:
+        while True:
+            try:
+                pid, records, encoded = chunk.future.result()
+            except BrokenProcessPool:
+                self._stats["crashes"] += 1
+                # Only tear down the pool the dead future belonged to; a
+                # break from an already-replaced pool must not take the
+                # current healthy one (and its in-flight chunks) down.
+                if chunk.executor is self._executor:
+                    self._restart_pool()
+                if chunk.attempts > MAX_CHUNK_RETRIES:
+                    error = ServiceError(
+                        "worker process crashed while translating this "
+                        "document's chunk (retry exhausted)"
+                    )
+                    chunk.outcomes = [error for _ in chunk.trees]
+                    self._stats["errors"] += len(chunk.trees)
+                    return
+                chunk.future = self._pool().submit(
+                    shard.worker_translate, shard.encode_forest(chunk.trees)
+                )
+                chunk.executor = self._executor
+                chunk.attempts += 1
+                continue
+            chunk.outcomes = shard.decode_outcomes(records, encoded)
+            self._stats["errors"] += sum(
+                1 for o in chunk.outcomes if not isinstance(o, Tree)
+            )
+            per_shard = self._shard_stats.setdefault(
+                pid, {"chunks": 0, "documents": 0}
+            )
+            per_shard["chunks"] += 1
+            per_shard["documents"] += len(chunk.outcomes)
+            return
+
+    def _drain_head(self) -> Iterator[Outcome]:
+        """Yield the outcomes of the oldest in-flight chunk."""
+        chunk = self._inflight.popleft()
+        self._resolve(chunk)
+        for outcome in chunk.outcomes:
+            yield outcome
+
+    # -- public API -----------------------------------------------------
+
+    def submit(self, tree: Tree) -> None:
+        """Queue one input; dispatches a chunk every ``chunk_size`` docs.
+
+        Blocks when ``max_pending`` chunks are already in flight.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        self._pending_docs.append(tree)
+        if len(self._pending_docs) >= self.chunk_size:
+            self._dispatch(self._pending_docs)
+            self._pending_docs = []
+
+    def results(self) -> Iterator[Outcome]:
+        """Yield every outcome submitted so far, in submission order.
+
+        Flushes the partial pending chunk first; blocks as needed.
+        """
+        if self._pending_docs:
+            self._dispatch(self._pending_docs)
+            self._pending_docs = []
+        while self._inflight:
+            yield from self._drain_head()
+
+    def map(self, trees: Iterable[Tree]) -> Iterator[Outcome]:
+        """Translate a forest; outcomes stream back in input order.
+
+        Materializable forests are chunked cost-aware across the pool
+        (:func:`~repro.serve.shard.chunk_forest`); dispatch and
+        collection overlap, bounded by ``max_pending``.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        if self._pending_docs:
+            raise ServiceError(
+                "map() cannot interleave with partially submitted chunks"
+            )
+        if self._inflight:
+            raise ServiceError(
+                "map() cannot start while earlier outcomes are pending — "
+                "drain results() (e.g. from an abandoned map iterator) first"
+            )
+        forest = list(trees)
+        if not self._parallel:
+            self._dispatch(forest)
+            while self._inflight:
+                yield from self._drain_head()
+            return
+        ranges = shard.chunk_forest(
+            forest,
+            max(self.jobs, -(-len(forest) // self.chunk_size)),
+            max_docs=self.chunk_size,
+        )
+        for start, end in ranges:
+            while len(self._inflight) >= self.max_pending:
+                yield from self._drain_head()
+            self._dispatch(forest[start:end])
+        while self._inflight:
+            yield from self._drain_head()
+
+    def run_batch_outcomes(self, trees: Iterable[Tree]) -> List[Outcome]:
+        """Materialized :meth:`map` — the engine-compatible entry point."""
+        return list(self.map(trees))
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Aggregate counters plus per-shard (per worker pid) counts."""
+        return {
+            **self._stats,
+            "jobs": self.jobs,
+            "shards": {pid: dict(s) for pid, s in self._shard_stats.items()},
+        }
+
+    def close(self) -> None:
+        """Shut the pool down; pending unconsumed work is discarded."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pending_docs = []
+        self._inflight.clear()
+        self._unresolved.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "TransformService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

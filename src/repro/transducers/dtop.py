@@ -207,13 +207,20 @@ class DTOP:
 
         Only needed to release memory (long-lived transducers applied to
         many unrelated inputs) — never for correctness.  Also drops the
-        compiled engine's pair memo (the compiled tables are kept).
+        compiled engine *entirely* (tables included): every engine
+        handle derived from this machine — including per-shard engines
+        held by a live :class:`~repro.serve.service.TransformService`
+        pool, which compare the handle at each dispatch — is invalidated,
+        so a machine whose ``rules`` were mutated behind the documented
+        immutability contract can never keep serving stale tables.  The
+        next evaluation recompiles (compilation is linear and cheap).
         """
         self._memo.clear()
         self._memo_stats["hits"] = 0
         self._memo_stats["misses"] = 0
         if self._engine is not None:
             self._engine.clear_cache()
+            self._engine = None
 
     def try_apply(self, node: Tree) -> Optional[Tree]:
         """``[[M]](s)`` or ``None`` when the input is outside the domain."""

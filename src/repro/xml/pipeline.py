@@ -74,7 +74,10 @@ class XMLTransformation:
         return self.output_encoder.decode(output, out_values)
 
     def apply_batch(
-        self, documents: Iterable[UTree]
+        self,
+        documents: Iterable[UTree],
+        jobs: Optional[int] = None,
+        service: Optional["TransformService"] = None,
     ) -> List[Union[UTree, ReproError]]:
         """Transform a batch of documents; per-document outcomes.
 
@@ -87,6 +90,13 @@ class XMLTransformation:
         All failures (non-conforming, out-of-domain, or too deep for the
         recursive origin tracker) are reported per document without
         aborting the batch.
+
+        ``jobs > 1`` shards the engine-eligible documents across a
+        worker pool (:class:`~repro.serve.service.TransformService`)
+        created for this call; pass a live ``service`` (built over
+        ``self.transducer``) instead to amortize the pool across many
+        batches — the streaming path of :meth:`apply_stream` does.
+        Outcomes are identical either way.
         """
         prepared: List[Union[Tuple, ReproError]] = []
         engine_inputs = []
@@ -107,9 +117,18 @@ class XMLTransformation:
             prepared.append((encoded, values))
             if not values:
                 engine_inputs.append(encoded)
-        outcomes = iter(
-            engine_for(self.transducer).run_batch_outcomes(engine_inputs)
-        )
+        if service is not None:
+            raw_outcomes = service.run_batch_outcomes(engine_inputs)
+        elif jobs is not None and jobs > 1:
+            from repro.serve import TransformService
+
+            with TransformService(self.transducer, jobs=jobs) as pool:
+                raw_outcomes = pool.run_batch_outcomes(engine_inputs)
+        else:
+            raw_outcomes = engine_for(self.transducer).run_batch_outcomes(
+                engine_inputs
+            )
+        outcomes = iter(raw_outcomes)
         results: List[Union[UTree, ReproError]] = []
         for entry in prepared:
             if isinstance(entry, ReproError):
@@ -138,6 +157,42 @@ class XMLTransformation:
                     )
                 )
         return results
+
+    def apply_stream(
+        self,
+        documents: Iterable[UTree],
+        jobs: Optional[int] = None,
+        chunk_docs: int = 64,
+    ):
+        """Transform a document stream incrementally; yields outcomes.
+
+        Documents are consumed ``chunk_docs`` at a time — pair this with
+        :func:`repro.serve.stream.iter_stream_documents` and the whole
+        corpus is never materialized: memory is bounded by one chunk
+        (plus the pool's in-flight window).  With ``jobs > 1`` one
+        worker pool is created up front and amortized across every
+        chunk.  Outcomes stream back in input order and are identical
+        to :meth:`apply_batch` on the materialized list.
+        """
+        service = None
+        try:
+            if jobs is not None and jobs > 1:
+                from repro.serve import TransformService
+
+                service = TransformService(self.transducer, jobs=jobs)
+            window: List[UTree] = []
+            for document in documents:
+                window.append(document)
+                if len(window) >= chunk_docs:
+                    for outcome in self.apply_batch(window, service=service):
+                        yield outcome
+                    window = []
+            if window:
+                for outcome in self.apply_batch(window, service=service):
+                    yield outcome
+        finally:
+            if service is not None:
+                service.close()
 
     @property
     def num_states(self) -> int:

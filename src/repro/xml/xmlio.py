@@ -91,6 +91,8 @@ class _XmlParser:
         return self.source[start : self.pos]
 
     def parse_element(self) -> UTree:
+        if self.pos >= len(self.source):
+            raise self.error("unexpected end of input, expected an element")
         if self.source[self.pos] != "<":
             raise self.error("expected '<'")
         self.pos += 1

@@ -271,3 +271,160 @@ class TestErrors:
             ]
         )
         assert code == 2
+
+
+class TestServeAndStream:
+    @pytest.fixture
+    def saved(self, workspace, capsys):
+        path = workspace / "transform.json"
+        main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+                "--save", str(path),
+                "--compact-lists",
+            ]
+        )
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture
+    def stream_file(self, workspace):
+        documents = [xmlflip_document(n % 4, (n + 1) % 3) for n in range(9)]
+        path = workspace / "batch.xml"
+        path.write_text(
+            "<batch>"
+            + "".join(serialize_xml(d, indent=None) for d in documents)
+            + "</batch>"
+        )
+        return path, documents
+
+    def test_serve_writes_outputs_in_stream_order(
+        self, workspace, saved, stream_file, capsys
+    ):
+        path, documents = stream_file
+        out_dir = workspace / "served"
+        code = main(
+            [
+                "serve",
+                "--transform", str(saved),
+                "--input", str(path),
+                "--jobs", "2",
+                "--chunk-docs", "4",
+                "--output", str(out_dir),
+                "--stats",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert f"{len(documents)}/{len(documents)} documents transformed" in err
+        assert "stats:" in err
+        for index, document in enumerate(documents):
+            rendered = (out_dir / f"doc{index + 1:06d}.out.xml").read_text()
+            assert parse_xml(rendered) == transform_xmlflip(document)
+
+    def test_apply_stream_matches_serve(
+        self, workspace, saved, stream_file, capsys
+    ):
+        path, documents = stream_file
+        out_dir = workspace / "streamed"
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                "--stream", str(path),
+                "--output", str(out_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert len(list(out_dir.glob("*.out.xml"))) == len(documents)
+
+    def test_stream_reports_per_document_errors(
+        self, workspace, saved, capsys
+    ):
+        good = xmlflip_document(1, 2)
+        path = workspace / "mixed.xml"
+        path.write_text(
+            "<batch>"
+            + serialize_xml(good, indent=None)
+            + "<root><z/></root>"
+            + serialize_xml(good, indent=None)
+            + "</batch>"
+        )
+        code = main(
+            ["apply", "--transform", str(saved), "--stream", str(path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error: document #2" in captured.err
+        assert "2/3 documents transformed, 1 failed" in captured.err
+
+    def test_stream_excludes_batch_dir(self, workspace, saved, stream_file):
+        path, _documents = stream_file
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                "--stream", str(path),
+                "--batch-dir", str(workspace),
+            ]
+        )
+        assert code == 2
+
+    def test_batch_dir_order_is_name_sorted(
+        self, workspace, saved, capsys, monkeypatch
+    ):
+        batch = workspace / "batch"
+        batch.mkdir()
+        names = ["zeta.xml", "alpha.xml", "mid.xml"]
+        for index, name in enumerate(names):
+            (batch / name).write_text(
+                serialize_xml(xmlflip_document(index + 1, 1))
+            )
+        # Present directory entries in hostile (reversed) order: the CLI
+        # must still process by plain name so reports are stable across
+        # filesystems.
+        from pathlib import Path as _Path
+
+        original_glob = _Path.glob
+
+        def reversed_glob(self, pattern):
+            return reversed(sorted(original_glob(self, pattern)))
+
+        monkeypatch.setattr(_Path, "glob", reversed_glob)
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                "--batch-dir", str(batch),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        positions = [out.index(name) for name in sorted(names)]
+        assert positions == sorted(positions)
+
+    def test_batch_apply_jobs_flag(self, workspace, saved, capsys):
+        batch = workspace / "docs"
+        batch.mkdir()
+        documents = [xmlflip_document(n + 1, n % 3) for n in range(5)]
+        for index, document in enumerate(documents):
+            (batch / f"doc{index}.xml").write_text(serialize_xml(document))
+        out_dir = workspace / "out"
+        code = main(
+            [
+                "apply",
+                "--transform", str(saved),
+                "--batch-dir", str(batch),
+                "--jobs", "2",
+                "--output", str(out_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        for index, document in enumerate(documents):
+            rendered = (out_dir / f"doc{index}.out.xml").read_text()
+            assert parse_xml(rendered) == transform_xmlflip(document)
