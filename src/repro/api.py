@@ -69,12 +69,15 @@ __all__ = [
     "run",
     "run_batch",
     "try_run_batch",
+    "compose",
     "minimize",
     "equivalent",
     "serialize",
     "deserialize",
     "save",
     "load",
+    "serve_forever",
+    "connect",
     "cache_stats",
     "clear_caches",
 ]
@@ -219,6 +222,61 @@ def try_run_batch(
         else:
             results.append(outcome)
     return results
+
+
+def compose(
+    first: TransducerLike, second: TransducerLike
+) -> DTOP:
+    """The DTOP computing ``second(first(s))`` (Engelfriet's closure).
+
+    Parity contract, pinned by the test suite: for every ``s`` where
+    both sides are defined, ``run(compose(f, g), s) == run(g, run(f, s))``
+    — and where the chained run is undefined, so is the composed
+    machine (the converse can fail only through the deletion/inspection
+    caveat of Section 7, see :mod:`repro.transducers.compose`).
+
+    >>> from repro.workloads.flip import flip_transducer
+    >>> twice = compose(flip_transducer(), flip_transducer())
+    >>> str(run(twice, "root(#, #)"))
+    'root(#, #)'
+    """
+    from repro.transducers.compose import compose as _compose
+
+    return _compose(_as_dtop(first), _as_dtop(second))
+
+
+def serve_forever(
+    models_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 7455,
+    jobs: Optional[int] = None,
+    **knobs: Any,
+) -> int:
+    """Serve every model under ``models_dir`` over TCP until interrupted.
+
+    The network face of the library: loads ``NAME@VERSION.json``
+    artifacts (raw transducers and XML transformation bundles), coalesces
+    concurrent requests into micro-batches, and shards each model across
+    ``jobs`` worker processes.  Extra ``knobs`` — ``max_batch``,
+    ``max_wait_ms``, ``max_pending``, ``stats`` — are forwarded to
+    :func:`repro.server.app.serve_forever`.  Blocks; returns the exit
+    code.
+    """
+    from repro.server import serve_forever as _serve_forever
+
+    return _serve_forever(models_dir, host=host, port=port, jobs=jobs, **knobs)
+
+
+def connect(host: str, port: int, timeout: float = 120.0):
+    """A blocking :class:`~repro.server.client.ServerClient` for a server.
+
+    ``connect(host, port).transform(model, document)`` raises the same
+    exception type and message as the local :func:`run` would — remote
+    and local failures are interchangeable to callers.
+    """
+    from repro.server import ServerClient
+
+    return ServerClient(host, port, timeout=timeout)
 
 
 def minimize(

@@ -32,6 +32,23 @@ Usage (also via ``python -m repro``)::
     python -m repro serve --transform transform.json --input batch.xml \
         --jobs 4 --chunk-docs 64 --output out_dir --stats
 
+    # Serve a directory of saved models over TCP (name@version keys,
+    # JSON-lines protocol, micro-batching, hot reload via the protocol's
+    # reload op).  All chatter goes to stderr:
+    python -m repro server --models models_dir --port 7455 --jobs 4
+
+    # Apply through a running server instead of loading locally
+    # (--transform names a served model, documents pass through as-is):
+    python -m repro apply --remote localhost:7455 --transform mymodel \
+        doc.xml
+    python -m repro apply --remote localhost:7455 --transform mymodel \
+        --stream batch.xml --output out_dir
+
+    # Compose two saved transformations (apply the first, then the
+    # second) into a new bundle:
+    python -m repro compose --first clean.json --second render.json \
+        --save pipeline.json
+
     # Show a saved transducer as an XSLT-like stylesheet:
     python -m repro show --transform transform.json
 
@@ -105,6 +122,11 @@ def load_transformation(path: Path) -> XMLTransformation:
     bundle = json.loads(path.read_text())
     if bundle.get("format") != BUNDLE_FORMAT:
         raise ReproError(f"{path} is not a {BUNDLE_FORMAT} bundle")
+    return transformation_from_bundle(bundle)
+
+
+def transformation_from_bundle(bundle: dict) -> XMLTransformation:
+    """Rebuild a transformation from an already-parsed bundle dict."""
     flags = bundle["flags"]
     input_encoder = DTDEncoder(
         parse_dtd(bundle["input_dtd"], start=bundle["input_start"]),
@@ -199,7 +221,120 @@ def _collect_documents(args: argparse.Namespace) -> List[Path]:
     return paths
 
 
+def _parse_hostport(value: str) -> Tuple[str, int]:
+    host, separator, port = value.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ReproError(
+            f"--remote takes HOST:PORT, not {value!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _apply_remote(args: argparse.Namespace) -> int:
+    """Client mode: ship documents to a running ``repro server``.
+
+    ``--transform`` names a served model (``name`` or ``name@version``);
+    document payloads pass through verbatim — the server parses and
+    renders in the model's own syntax, so outputs (and error messages)
+    are identical to the local path.
+    """
+    from repro.server import ServerClient
+
+    host, port = _parse_hostport(args.remote)
+    model = args.transform
+    with ServerClient(host, port) as client:
+        if args.stream:
+            if args.batch_dir:
+                raise ReproError(
+                    "--stream and --batch-dir are mutually exclusive"
+                )
+            if len(args.documents) != 1:
+                raise ReproError("--stream takes exactly one stream file (or -)")
+            source = args.documents[0]
+            if source == "-":
+                payload = sys.stdin.buffer.read()
+            else:
+                payload = Path(source).read_bytes()
+            out_dir = _ensure_output_dir(args.output)
+            failures = count = 0
+            for index, outcome in enumerate(
+                client.transform_stream(model, payload)
+            ):
+                count += 1
+                if isinstance(outcome, Exception):
+                    failures += 1
+                    print(
+                        f"error: document #{index + 1}: {outcome}",
+                        file=sys.stderr,
+                    )
+                    continue
+                if out_dir is not None:
+                    (out_dir / f"doc{index + 1:06d}.out.xml").write_text(
+                        outcome + "\n"
+                    )
+                else:
+                    print(f"<!-- document #{index + 1} -->")
+                    print(outcome)
+            print(
+                f"{count - failures}/{count} documents transformed"
+                + (f", {failures} failed" if failures else ""),
+                file=sys.stderr,
+            )
+            return 1 if failures else 0
+
+        paths = _collect_documents(args)
+        if len(paths) == 1 and not args.batch_dir:
+            output = client.transform(model, paths[0].read_text())
+            if args.output:
+                Path(args.output).write_text(output + "\n")
+            else:
+                print(output)
+            return 0
+
+        out_dir = _ensure_output_dir(args.output)
+        failures = 0
+        written: set = set()
+        for path in paths:
+            try:
+                outcome = client.try_transform(model, path.read_text())
+            except OSError as error:
+                outcome = error
+            if isinstance(outcome, Exception):
+                failures += 1
+                print(f"error: {path}: {outcome}", file=sys.stderr)
+                continue
+            if out_dir is not None:
+                name = f"{path.stem}.out.xml"
+                serial = 1
+                while name in written:
+                    name = f"{path.stem}.{serial}.out.xml"
+                    serial += 1
+                written.add(name)
+                (out_dir / name).write_text(outcome + "\n")
+            else:
+                print(f"<!-- {path} -->")
+                print(outcome)
+        print(
+            f"{len(paths) - failures}/{len(paths)} documents transformed"
+            + (f", {failures} failed" if failures else ""),
+            file=sys.stderr,
+        )
+        return 1 if failures else 0
+
+
+def _ensure_output_dir(output: Optional[str]) -> Optional[Path]:
+    if not output:
+        return None
+    out_dir = Path(output)
+    if out_dir.exists() and not out_dir.is_dir():
+        raise ReproError(f"--output {out_dir} must be a directory here")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return out_dir
+
+
 def _cmd_apply(args: argparse.Namespace) -> int:
+    if args.remote:
+        return _apply_remote(args)
     transformation = load_transformation(Path(args.transform))
     if args.stream:
         if args.batch_dir:
@@ -366,6 +501,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_server(args: argparse.Namespace) -> int:
+    from repro.server import serve_forever
+
+    return serve_forever(
+        args.models,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        stats=args.stats,
+    )
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    from repro.transducers.compose import compose
+
+    first = load_transformation(Path(args.first))
+    second = load_transformation(Path(args.second))
+    if (
+        first.output_encoder.dtd.describe()
+        != second.input_encoder.dtd.describe()
+    ):
+        raise ReproError(
+            "cannot compose: the first transformation's output DTD does "
+            "not match the second's input DTD"
+        )
+    transducer = compose(first.transducer, second.transducer)
+    composed = XMLTransformation(
+        transducer=transducer,
+        input_encoder=first.input_encoder,
+        output_encoder=second.output_encoder,
+        domain=first.domain,
+    )
+    print(
+        f"composed {composed.num_states} states / "
+        f"{composed.num_rules} rules"
+    )
+    if args.save:
+        save_transformation(composed, Path(args.save))
+        print(f"saved to {args.save}")
+    return 0
+
+
 def _cmd_show(args: argparse.Namespace) -> int:
     transformation = load_transformation(Path(args.transform))
     if args.as_xslt:
@@ -434,6 +614,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="documents per dispatched chunk in --stream mode",
     )
+    apply_cmd.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        help="send documents to a running `repro server` instead of "
+        "loading locally; --transform then names a served model "
+        "(NAME or NAME@VERSION)",
+    )
     apply_cmd.set_defaults(func=_cmd_apply)
 
     serve = commands.add_parser(
@@ -460,6 +647,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print throughput statistics"
     )
     serve.set_defaults(func=_cmd_serve)
+
+    server = commands.add_parser(
+        "server",
+        help="serve a directory of saved models over TCP "
+        "(JSON-lines protocol, micro-batching, hot reload)",
+    )
+    server.add_argument(
+        "--models",
+        required=True,
+        help="directory of NAME@VERSION.json model artifacts "
+        "(raw transducers or learned transformation bundles)",
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument(
+        "--port", type=int, default=7455, help="TCP port (0 picks a free one)"
+    )
+    server.add_argument(
+        "--jobs",
+        type=int,
+        help="shard each model across N worker processes",
+    )
+    server.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="documents per coalesced micro-batch (1 disables batching)",
+    )
+    server.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="bound on the wait a request pays to coalesce",
+    )
+    server.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admitted-request bound before overload responses",
+    )
+    server.add_argument(
+        "--stats",
+        action="store_true",
+        help="print server statistics to stderr on shutdown",
+    )
+    server.set_defaults(func=_cmd_server)
+
+    compose_cmd = commands.add_parser(
+        "compose",
+        help="compose two saved transformations (first, then second)",
+    )
+    compose_cmd.add_argument(
+        "--first", required=True, help="transformation applied first"
+    )
+    compose_cmd.add_argument(
+        "--second", required=True, help="transformation applied second"
+    )
+    compose_cmd.add_argument(
+        "--save", help="write the composed transformation here"
+    )
+    compose_cmd.set_defaults(func=_cmd_compose)
 
     show = commands.add_parser("show", help="print a saved transducer")
     show.add_argument("--transform", required=True)

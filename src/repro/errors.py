@@ -55,6 +55,34 @@ class ServiceError(ReproError):
     """
 
 
+class RegistryError(ReproError):
+    """A model registry operation failed (bad directory, bad artifact)."""
+
+
+class ModelNotFoundError(RegistryError):
+    """No model in the registry matches the requested ``name@version``."""
+
+
+class OverloadedError(ServiceError):
+    """The server refused admission: its pending-request queue is full.
+
+    An explicit, immediate response — the request was *not* queued and
+    performed no work; the client may retry after backing off.  Distinct
+    from :class:`ServiceError` proper (work was lost mid-flight) and from
+    :class:`UndefinedTransductionError` (the transduction itself failed).
+    """
+
+
+class RemoteError(ReproError):
+    """A server reported a failure that has no local exception class.
+
+    Raised by :class:`repro.server.client.ServerClient` when a response
+    carries an error type the client cannot map back onto this
+    hierarchy (library errors round-trip as their own classes with
+    byte-identical messages).
+    """
+
+
 class LearningError(ReproError):
     """The learning algorithm could not complete."""
 

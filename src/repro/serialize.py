@@ -230,6 +230,11 @@ def loads(text: str) -> Any:
     memory shares its structure.
     """
     data = json.loads(text)
+    return from_data(data)
+
+
+def from_data(data: Any) -> Any:
+    """Dispatch already-parsed JSON data on its ``"format"`` key."""
     if not isinstance(data, dict):
         raise ParseError("expected a JSON object")
     fmt = data.get("format")

@@ -33,7 +33,9 @@ pin parallel ≡ serial byte-for-byte.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import weakref
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -50,6 +52,23 @@ Outcome = Union[Tree, UndefinedTransductionError, ServiceError]
 
 #: Retries per chunk after a pool break before giving up on it.
 MAX_CHUNK_RETRIES = 1
+
+#: Every live service, so abandoned ones (a crashed server, a test that
+#: never reached ``close``) still shut their worker pools down at
+#: interpreter exit instead of leaking processes.  Weak: a service the
+#: caller dropped can be collected normally — its pool's own atexit
+#: machinery handles the workers — and ``close()`` deregisters eagerly.
+_LIVE_SERVICES: "weakref.WeakSet[TransformService]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_services() -> None:
+    """Interpreter-exit safety net: close every service still open."""
+    for service in list(_LIVE_SERVICES):
+        try:
+            service.close()
+        except Exception:  # pragma: no cover - last-resort cleanup
+            pass
 
 
 def _pool_context():
@@ -124,6 +143,7 @@ class TransformService:
             "repacks": 0,
         }
         self._shard_stats: Dict[int, Dict[str, int]] = {}
+        _LIVE_SERVICES.add(self)
 
     # -- pool management ------------------------------------------------
 
@@ -322,16 +342,25 @@ class TransformService:
         }
 
     def close(self) -> None:
-        """Shut the pool down; pending unconsumed work is discarded."""
+        """Shut the pool down; pending unconsumed work is discarded.
+
+        Idempotent, safe after a worker crash (a broken pool shuts down
+        without raising), and registered as an interpreter-exit cleanup
+        — an abandoned service cannot leak worker processes.
+        """
         if self._closed:
             return
         self._closed = True
+        _LIVE_SERVICES.discard(self)
         self._pending_docs = []
         self._inflight.clear()
         self._unresolved.clear()
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            try:
+                executor.shutdown(wait=True)
+            except Exception:  # pragma: no cover - defensive: a pool
+                pass  # broken mid-shutdown must not fail close()
 
     def __enter__(self) -> "TransformService":
         return self

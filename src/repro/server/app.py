@@ -1,0 +1,723 @@
+"""The asyncio network front-end: JSON-lines transforms over TCP.
+
+Protocol — one JSON object per ``\\n``-terminated line, UTF-8:
+
+``{"op": "transform", "model": "flip@1", "document": "...", "id": 7}``
+    Transform one document (term syntax for transducer models, XML for
+    transformation bundles).  Response:
+    ``{"id": 7, "ok": true, "model": "flip@1", "document": "..."}`` or
+    ``{"id": 7, "ok": false, "error": {"type": "...", "message": "..."}}``.
+    Error types are the library's exception class names — a client can
+    rebuild the exact exception, and messages are byte-identical to the
+    local ``api.run`` path (pinned by the differential fuzz tests).
+    ``"format": "packed"`` (transducer models only) answers with flat
+    DAG records instead of rendered term text: payload ∝ *distinct*
+    subtrees, encoding iterative — heavily shared or arbitrarily deep
+    outputs ship cheaply where the recursive renderer cannot.
+
+``{"op": "transform_stream", "model": "m", "content_length": N}``
+    Followed by exactly ``N`` raw bytes: an XML stream whose root
+    element wraps the documents (see :mod:`repro.serve.stream`).
+    Documents are parsed incrementally, fed to the micro-batcher as
+    their end tags arrive, and answered in order — one
+    ``{"seq": i, "ok": ..., ...}`` line each — before a final
+    ``{"done": true, "count": n, "failures": m}`` line.  The model
+    entry is pinned for the whole stream: a hot reload mid-stream
+    affects new requests, never the documents of an open stream.
+
+``health`` / ``stats`` / ``models`` / ``reload`` / ``shutdown``
+    Admin plane: liveness, the registry + batcher + per-model service
+    counters, the model list, a registry rescan, and graceful stop.
+
+Admission control: every transform(_stream) document passes through the
+micro-batcher's bounded pending queue; past the bound the server answers
+an explicit ``OverloadedError`` response immediately — it never queues
+unboundedly and never drops the connection.
+
+All operational chatter (startup banner, final statistics) goes to
+*stderr*; stdout stays clean for document output in the CLI paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import RegistryError, ReproError, ServiceError
+from repro.serve.stream import StreamParser
+from repro.server.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_MAX_WAIT_MS,
+    MicroBatcher,
+)
+from repro.server.registry import KIND_XML, ModelRegistry
+
+#: Read size for transform_stream bodies.
+STREAM_CHUNK_BYTES = 1 << 16
+
+#: Bound on one request line (asyncio streams default to 64 KiB, which
+#: a single large document blows through).  Oversized lines get a
+#: structured bad-request response, not a dropped connection.
+MAX_LINE_BYTES = 1 << 24
+
+#: Protocol-level (non-library) error type tags.
+BAD_REQUEST = "bad-request"
+
+
+def _error_payload(
+    error: Union[Exception, str], type_name: Optional[str] = None
+) -> Dict:
+    if isinstance(error, Exception):
+        return {
+            "type": type_name or type(error).__name__,
+            "message": str(error),
+        }
+    return {"type": type_name or BAD_REQUEST, "message": str(error)}
+
+
+class TransformServer:
+    """The asyncio transformation server over one :class:`ModelRegistry`.
+
+    Lifecycle::
+
+        server = TransformServer(registry, port=0)
+        await server.start()          # binds; server.port is the real port
+        await server.serve_until_stopped()   # returns after request_stop()
+
+    or from synchronous code use :func:`serve_forever` /
+    :class:`ServerThread`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started_at = time.monotonic()
+        self._stats = {"connections": 0, "requests": 0, "bad_requests": 0}
+        self._conn_tasks: set = set()
+        self._open_writers: set = set()
+        #: Writers currently inside a request; shutdown must not hang
+        #: up on these before their response is written.
+        self._busy_writers: set = set()
+        self._stopping = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves the real port for port 0."""
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop`; then tear everything down."""
+        if self._server is None:
+            await self.start()
+        await self._stop_event.wait()
+        self._stopping = True
+        self._server.close()
+        # Hang up on *idle* connections so their handler tasks finish
+        # before the loop does (a task alive at loop teardown logs a
+        # spurious CancelledError from the streams machinery).  Busy
+        # connections keep their transport: the in-flight request still
+        # gets its response — including the shutdown errors the batcher
+        # resolves pending futures to — and the handler loop exits via
+        # the stopping flag right after writing it.
+        for writer in list(self._open_writers - self._busy_writers):
+            writer.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *list(self._conn_tasks), return_exceptions=True
+            )
+        await self.batcher.close()
+        self.registry.close()
+
+    def request_stop(self) -> None:
+        """Signal a graceful stop (safe to call from the loop only)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {
+            "server": {
+                **self._stats,
+                "uptime_s": time.monotonic() - self._started_at,
+                "host": self.host,
+                "port": self.port,
+            },
+            "registry": self.registry.stats,
+            "batcher": self.batcher.stats,
+            "models": self.registry.describe(),
+        }
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._stats["connections"] += 1
+        self._conn_tasks.add(asyncio.current_task())
+        self._open_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The line blew through MAX_LINE_BYTES; the buffered
+                    # rest is unframed, so answer and hang up.
+                    self._stats["bad_requests"] += 1
+                    await self._write(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": _error_payload(
+                                f"request line exceeds {MAX_LINE_BYTES} "
+                                f"bytes (send large batches via "
+                                f"transform_stream)"
+                            ),
+                        },
+                    )
+                    break
+                if not line:
+                    break
+                self._busy_writers.add(writer)
+                try:
+                    await self._handle_line(line, reader, writer)
+                finally:
+                    self._busy_writers.discard(writer)
+                if self._stopping:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._busy_writers.discard(writer)
+            self._open_writers.discard(writer)
+            self._conn_tasks.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _write(self, writer: asyncio.StreamWriter, payload: Dict) -> None:
+        writer.write(json.dumps(payload, ensure_ascii=False).encode() + b"\n")
+        await writer.drain()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._stats["requests"] += 1
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as error:
+            self._stats["bad_requests"] += 1
+            await self._write(
+                writer,
+                {"ok": False, "error": _error_payload(error, BAD_REQUEST)},
+            )
+            return
+        request_id = request.get("id")
+        op = request.get("op")
+        handler = {
+            "transform": self._op_transform,
+            "transform_stream": self._op_transform_stream,
+            "health": self._op_health,
+            "stats": self._op_stats,
+            "models": self._op_models,
+            "reload": self._op_reload,
+            "shutdown": self._op_shutdown,
+        }.get(op)
+        if handler is None:
+            self._stats["bad_requests"] += 1
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": _error_payload(f"unknown op {op!r}"),
+                },
+            )
+            return
+        await handler(request, reader, writer)
+
+    # -- operations -----------------------------------------------------
+
+    async def _op_transform(self, request, _reader, writer) -> None:
+        request_id = request.get("id")
+        try:
+            model = request["model"]
+            document = request["document"]
+        except KeyError as missing:
+            self._stats["bad_requests"] += 1
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": _error_payload(
+                        f"transform requires a {missing.args[0]!r} field"
+                    ),
+                },
+            )
+            return
+        response_format = request.get("format", "text")
+        if response_format not in ("text", "packed"):
+            self._stats["bad_requests"] += 1
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": _error_payload(
+                        f"unknown response format {response_format!r} "
+                        f"(use 'text' or 'packed')"
+                    ),
+                },
+            )
+            return
+        try:
+            entry = self.registry.get(str(model))
+            if response_format == "packed" and entry.kind == KIND_XML:
+                raise ServiceError(
+                    f"model {entry.key} is an XML transformation bundle; "
+                    f"the packed format serves raw transducer models"
+                )
+            tree = entry.parse_document(str(document))
+            outcome = await self.batcher.submit(entry, tree)
+            if isinstance(outcome, Exception):
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "model": entry.key,
+                    "error": _error_payload(outcome),
+                }
+            elif response_format == "packed":
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "model": entry.key,
+                    "packed": entry.render_packed(outcome),
+                }
+            else:
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "model": entry.key,
+                    "document": entry.render_output(outcome),
+                }
+        except ReproError as error:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error_payload(error),
+            }
+        except RecursionError:
+            # Mirror the CLI's mapping: deep documents are a structured
+            # failure, not a dropped connection (the engine itself is
+            # iterative; parsing and text rendering are recursive —
+            # packed responses render deep *outputs* fine).
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error_payload(
+                    ReproError(
+                        "document parsing or rendering exceeded the "
+                        "recursion limit"
+                    )
+                ),
+            }
+        await self._write(writer, response)
+
+    async def _op_transform_stream(self, request, reader, writer) -> None:
+        """Chunked XML stream body → per-document response lines."""
+        request_id = request.get("id")
+
+        async def fail(error, consumed_body: bool) -> None:
+            # The body must always be drained, or it would be parsed as
+            # protocol lines; only then answer with the failure.
+            if not consumed_body:
+                await self._drain_body(reader, request)
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "done": True,
+                    "error": _error_payload(error),
+                },
+            )
+
+        try:
+            model = str(request["model"])
+            remaining = int(request["content_length"])
+            if remaining < 0:
+                raise ValueError("content_length must be non-negative")
+        except (KeyError, TypeError, ValueError) as error:
+            self._stats["bad_requests"] += 1
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "done": True,
+                    "error": _error_payload(
+                        f"transform_stream needs 'model' and a numeric "
+                        f"'content_length' ({error})"
+                    ),
+                },
+            )
+            return
+        try:
+            entry = self.registry.get(model)
+        except RegistryError as error:
+            await fail(error, consumed_body=False)
+            return
+        if entry.kind != KIND_XML:
+            await fail(
+                ServiceError(
+                    f"model {entry.key} is a raw transducer; "
+                    f"transform_stream serves XML transformation bundles"
+                ),
+                consumed_body=False,
+            )
+            return
+
+        # Pin the entry: a mid-stream hot reload must not swap machines
+        # under the open stream (new requests see the new model).
+        entry.acquire()
+        parser = StreamParser(ignore_attributes=True, forest=True)
+        tasks = []  # per-document batcher futures, in stream order
+        count = failures = 0
+        try:
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, STREAM_CHUNK_BYTES))
+                if not chunk:
+                    raise ServiceError(
+                        "connection closed inside a transform_stream body"
+                    )
+                remaining -= len(chunk)
+                parser.feed(chunk)
+                for document in parser.ready():
+                    tasks.append(
+                        asyncio.ensure_future(
+                            self._submit_stream_document(entry, document)
+                        )
+                    )
+                # Answer completed head-of-line documents while the body
+                # is still arriving: bounded memory, ordered responses.
+                while tasks and tasks[0].done():
+                    count, failures = await self._answer_stream_document(
+                        writer, request_id, entry, count, failures,
+                        tasks.pop(0),
+                    )
+            for document in parser.close():
+                tasks.append(
+                    asyncio.ensure_future(
+                        self._submit_stream_document(entry, document)
+                    )
+                )
+            for task in tasks:
+                count, failures = await self._answer_stream_document(
+                    writer, request_id, entry, count, failures, task
+                )
+            tasks = []
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": failures == 0,
+                    "done": True,
+                    "count": count,
+                    "failures": failures,
+                },
+            )
+        except ReproError as error:
+            for task in tasks:
+                task.cancel()
+            if remaining > 0:
+                await self._drain_body(reader, {"content_length": remaining})
+            await self._write(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "done": True,
+                    "count": count,
+                    "failures": failures,
+                    "error": _error_payload(error),
+                },
+            )
+        finally:
+            entry.release()
+
+    async def _submit_stream_document(self, entry, document):
+        """One stream document through the batcher; outcomes, not raises."""
+        try:
+            return await self.batcher.submit(entry, document)
+        except ReproError as error:  # overload/shutdown → per-doc outcome
+            return error
+
+    async def _answer_stream_document(
+        self, writer, request_id, entry, count, failures, task
+    ):
+        outcome = await task
+        response = {"id": request_id, "seq": count}
+        if not isinstance(outcome, Exception):
+            try:
+                response["ok"] = True
+                response["document"] = entry.render_output(outcome)
+            except RecursionError:
+                outcome = ReproError(
+                    "document rendering exceeded the recursion limit"
+                )
+        if isinstance(outcome, Exception):
+            failures += 1
+            response["ok"] = False
+            response["error"] = _error_payload(outcome)
+        count += 1
+        await self._write(writer, response)
+        return count, failures
+
+    async def _drain_body(self, reader, request) -> None:
+        """Discard an unread transform_stream body after an early error."""
+        try:
+            remaining = int(request.get("content_length", 0))
+        except (TypeError, ValueError):
+            return
+        while remaining > 0:
+            chunk = await reader.read(min(remaining, STREAM_CHUNK_BYTES))
+            if not chunk:
+                return
+            remaining -= len(chunk)
+
+    async def _op_health(self, request, _reader, writer) -> None:
+        await self._write(
+            writer,
+            {
+                "id": request.get("id"),
+                "ok": True,
+                "status": "serving",
+                "models": self.registry.keys(),
+                "pending": self.batcher.pending,
+                "uptime_s": time.monotonic() - self._started_at,
+            },
+        )
+
+    async def _op_stats(self, request, _reader, writer) -> None:
+        await self._write(
+            writer, {"id": request.get("id"), "ok": True, "stats": self.stats}
+        )
+
+    async def _op_models(self, request, _reader, writer) -> None:
+        await self._write(
+            writer,
+            {
+                "id": request.get("id"),
+                "ok": True,
+                "models": self.registry.describe(),
+            },
+        )
+
+    async def _op_reload(self, request, _reader, writer) -> None:
+        try:
+            summary = self.registry.reload()
+        except RegistryError as error:
+            await self._write(
+                writer,
+                {
+                    "id": request.get("id"),
+                    "ok": False,
+                    "error": _error_payload(error),
+                },
+            )
+            return
+        await self._write(
+            writer, {"id": request.get("id"), "ok": True, "reload": summary}
+        )
+
+    async def _op_shutdown(self, request, _reader, writer) -> None:
+        await self._write(
+            writer, {"id": request.get("id"), "ok": True, "stopping": True}
+        )
+        self.request_stop()
+
+
+# ---------------------------------------------------------------------------
+# Synchronous entry points
+# ---------------------------------------------------------------------------
+
+
+def serve_forever(
+    models_dir: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 7455,
+    jobs: Optional[int] = None,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    stats: bool = False,
+) -> int:
+    """Run a transformation server until SIGINT/SIGTERM; returns 0.
+
+    Loads every model under ``models_dir`` (sharding each across
+    ``jobs`` worker processes when ``jobs > 1``), binds ``host:port``
+    (port ``0`` picks a free one), and serves until interrupted.  The
+    startup banner — ``listening on HOST:PORT`` — and the optional final
+    statistics go to stderr; stdout is never written.
+    """
+    registry = ModelRegistry(models_dir, jobs=jobs)
+    server = TransformServer(
+        registry,
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        max_pending=max_pending,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, server.request_stop)
+        except (ImportError, NotImplementedError):  # pragma: no cover
+            pass  # platforms without POSIX signal handling
+        print(
+            f"repro server listening on {server.host}:{server.port} "
+            f"({len(registry.keys())} models: "
+            f"{', '.join(registry.keys()) or 'none'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler platforms
+        pass
+    if stats:
+        _print_stats(server)
+    print("repro server stopped", file=sys.stderr, flush=True)
+    return 0
+
+
+def _print_stats(server: TransformServer) -> None:
+    """Final server statistics, on stderr (stdout stays pipeable)."""
+    snapshot = server.stats
+    for section in ("server", "registry", "batcher"):
+        counters = snapshot[section]
+        line = ", ".join(
+            f"{key} {value if not isinstance(value, float) else round(value, 3)}"
+            for key, value in counters.items()
+        )
+        print(f"stats: {section}: {line}", file=sys.stderr, flush=True)
+
+
+class ServerThread:
+    """A server on a background thread — tests, benchmarks, fixtures.
+
+    ::
+
+        with ServerThread("models/", jobs=2, max_wait_ms=5) as handle:
+            client = ServerClient(handle.host, handle.port)
+
+    The context exit requests a graceful stop and joins the thread; the
+    registry and batcher are torn down on the loop before it finishes.
+    """
+
+    def __init__(self, models_dir: Union[str, Path], **server_kwargs):
+        self._models_dir = models_dir
+        self._jobs = server_kwargs.pop("jobs", None)
+        self._server_kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[TransformServer] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        try:
+            registry = ModelRegistry(self._models_dir, jobs=self._jobs)
+        except BaseException as error:  # surface on __enter__
+            self._failure = error
+            self._ready.set()
+            return
+
+        async def _main() -> None:
+            self.server = TransformServer(registry, **self._server_kwargs)
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.server.serve_until_stopped()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as error:  # pragma: no cover - debug aid
+            self._failure = error
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._failure is not None:
+            raise self._failure
+        if self.server is None:
+            raise ServiceError("server thread failed to start in time")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=60)
+        if self._thread.is_alive():  # pragma: no cover - hang diagnostics
+            raise ServiceError("server thread did not stop within 60 s")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,218 @@
+"""Latency-bounded micro-batching of concurrent transform requests.
+
+A network server sees single-document requests; the compiled engine and
+the sharded :class:`~repro.serve.service.TransformService` are fastest
+on *forests* (hash-consed sharing makes overlapping documents nearly
+free, and one dispatch amortizes the executor hop and the pool's codec
+work over the whole batch).  :class:`MicroBatcher` bridges the two:
+
+* requests for the same model entry coalesce into one pending batch;
+* the batch dispatches when it reaches ``max_batch`` documents **or**
+  when the oldest request has waited ``max_wait_ms`` — the knob bounds
+  the latency a request can pay for the throughput of its neighbours;
+* dispatch runs in a thread-pool executor (the event loop never blocks
+  on engine work) and per-entry dispatches are serialized — a
+  :class:`TransformService` is single-consumer — while distinct models
+  translate concurrently;
+* outcomes are **per request**: a document outside the domain resolves
+  its own request to the engine's exact
+  :class:`~repro.errors.UndefinedTransductionError` and never fails the
+  rest of the coalesced batch.  Only an infrastructure failure of the
+  whole dispatch (a :class:`~repro.errors.ServiceError` pool loss)
+  resolves every member — still as per-request outcomes, never as a
+  dropped connection;
+* admission is bounded: once ``max_pending`` requests are admitted and
+  not yet resolved, :meth:`submit` raises
+  :class:`~repro.errors.OverloadedError` immediately instead of
+  queueing — the explicit overload response of the protocol layer.
+
+``max_batch=1`` degrades to per-request dispatch (the benchmark
+baseline); semantics are identical either way, pinned by the
+differential server tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OverloadedError, ServiceError
+from repro.server.registry import ModelEntry
+
+#: Default documents per coalesced batch.
+DEFAULT_MAX_BATCH = 32
+#: Default bound (milliseconds) on the wait a request pays to coalesce.
+DEFAULT_MAX_WAIT_MS = 2.0
+#: Default bound on admitted-but-unresolved requests.
+DEFAULT_MAX_PENDING = 1024
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-document requests into forest batches.
+
+    Drive it from one event loop::
+
+        batcher = MicroBatcher(max_batch=32, max_wait_ms=2.0)
+        outcome = await batcher.submit(entry, document)
+
+    ``submit`` returns the request's outcome — an output tree, or the
+    per-document exception instance (callers decide whether to raise or
+    to render a structured error response).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ):
+        if max_batch < 1:
+            raise ServiceError("max_batch must be at least 1")
+        if max_pending < 0:
+            raise ServiceError("max_pending must be non-negative")
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.max_pending = max_pending
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="repro-batch"
+        )
+        self._own_executor = executor is None
+        #: Pending (document, future) pairs per live entry (by identity:
+        #: a hot reload replaces the entry object, so an old entry's
+        #: pending batch drains on the machine it was admitted to).
+        self._pending: Dict[ModelEntry, List[Tuple[object, asyncio.Future]]] = {}
+        self._timers: Dict[ModelEntry, asyncio.TimerHandle] = {}
+        self._locks: "weakref.WeakKeyDictionary[ModelEntry, asyncio.Lock]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._admitted = 0
+        self._closed = False
+        self._stats = {
+            "requests": 0,
+            "batches": 0,
+            "documents": 0,
+            "coalesced": 0,
+            "max_batch_seen": 0,
+            "errors": 0,
+            "overloads": 0,
+            "dispatch_failures": 0,
+        }
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet resolved."""
+        return self._admitted
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {
+            **self._stats,
+            "pending": self._admitted,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_pending": self.max_pending,
+        }
+
+    async def submit(self, entry: ModelEntry, document):
+        """Admit one document for ``entry``; await its outcome.
+
+        Raises :class:`OverloadedError` (without queueing) when the
+        pending bound is reached, and :class:`ServiceError` after
+        :meth:`close`.  Any other failure is *returned* as the
+        request's outcome, exception instances included.
+        """
+        if self._closed:
+            raise ServiceError("batcher is closed")
+        if self._admitted >= self.max_pending:
+            self._stats["overloads"] += 1
+            raise OverloadedError(
+                f"server overloaded: {self._admitted} requests pending "
+                f"(bound {self.max_pending}); retry later"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._admitted += 1
+        self._stats["requests"] += 1
+        entry.acquire()
+        try:
+            queue = self._pending.setdefault(entry, [])
+            queue.append((document, future))
+            if len(queue) >= self.max_batch:
+                self._flush(entry)
+            elif len(queue) == 1:
+                self._timers[entry] = loop.call_later(
+                    self.max_wait_ms / 1000.0, self._flush, entry
+                )
+            return await future
+        finally:
+            self._admitted -= 1
+            entry.release()
+
+    async def close(self) -> None:
+        """Resolve every pending request to a shutdown error; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        batches = list(self._pending.values())
+        self._pending.clear()
+        for batch in batches:
+            for _document, future in batch:
+                if not future.done():
+                    future.set_result(ServiceError("server shutting down"))
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    # -- batching internals ---------------------------------------------
+
+    def _flush(self, entry: ModelEntry) -> None:
+        """Detach the entry's pending batch and dispatch it."""
+        timer = self._timers.pop(entry, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._pending.pop(entry, None)
+        if not batch:
+            return
+        asyncio.ensure_future(self._dispatch(entry, batch))
+
+    async def _dispatch(
+        self, entry: ModelEntry, batch: List[Tuple[object, asyncio.Future]]
+    ) -> None:
+        """Translate one batch in the executor; resolve its futures."""
+        documents = [document for document, _future in batch]
+        self._stats["batches"] += 1
+        self._stats["documents"] += len(batch)
+        if len(batch) > 1:
+            self._stats["coalesced"] += len(batch)
+        self._stats["max_batch_seen"] = max(
+            self._stats["max_batch_seen"], len(batch)
+        )
+        lock = self._locks.get(entry)
+        if lock is None:
+            lock = self._locks[entry] = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        try:
+            async with lock:
+                outcomes = await loop.run_in_executor(
+                    self._executor, entry.run_batch, documents
+                )
+        except Exception as error:  # infrastructure, not per-document
+            self._stats["dispatch_failures"] += 1
+            if not isinstance(error, ServiceError):
+                error = ServiceError(
+                    f"batch dispatch failed: {type(error).__name__}: {error}"
+                )
+            outcomes = [error] * len(batch)
+        self._stats["errors"] += sum(
+            1 for outcome in outcomes if isinstance(outcome, Exception)
+        )
+        for (_document, future), outcome in zip(batch, outcomes):
+            if not future.done():
+                future.set_result(outcome)

@@ -1,0 +1,205 @@
+"""A small blocking client for the transformation server.
+
+Used by the test suite, the benchmark harness, and the CLI's
+``apply --remote`` mode.  One TCP connection, JSON lines out, JSON
+lines back; no dependencies beyond the standard library.
+
+Error mapping: a response's ``error.type`` is the server-side exception
+class name.  Types that exist in :mod:`repro.errors` are re-raised as
+*that* class with the server's message — ``client.transform`` on an
+out-of-domain document raises the byte-identical
+:class:`~repro.errors.UndefinedTransductionError` the local ``api.run``
+would.  Unknown types raise :class:`~repro.errors.RemoteError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Union
+
+from repro import errors as _errors
+from repro.errors import RemoteError, ReproError, ServiceError
+
+
+def error_from_payload(payload: Dict) -> ReproError:
+    """Rebuild the library exception a server error payload describes."""
+    type_name = str(payload.get("type", "unknown"))
+    message = str(payload.get("message", ""))
+    candidate = getattr(_errors, type_name, None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        return candidate(message)
+    return RemoteError(f"{type_name}: {message}" if message else type_name)
+
+
+class ServerClient:
+    """Blocking JSON-lines client; use as a context manager.
+
+    >>> with ServerClient(host, port) as client:       # doctest: +SKIP
+    ...     client.transform("flip", "root(a(#, #), #)")
+    'root(#, a(#, #))'
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._request_id = 0
+
+    # -- transport ------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rwb")
+
+    def _send(self, payload: Dict) -> int:
+        self._connect()
+        self._request_id += 1
+        payload = {"id": self._request_id, **payload}
+        self._file.write(
+            json.dumps(payload, ensure_ascii=False).encode() + b"\n"
+        )
+        self._file.flush()
+        return self._request_id
+
+    def _read_response(self) -> Dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        return json.loads(line)
+
+    def _request(self, payload: Dict) -> Dict:
+        """One round trip; raises on a protocol-level error response."""
+        self._send(payload)
+        response = self._read_response()
+        if not response.get("ok", False):
+            raise error_from_payload(response.get("error", {}))
+        return response
+
+    # -- document plane -------------------------------------------------
+
+    def transform(self, model: str, document: str) -> str:
+        """Transform one document; raises the server's exact error."""
+        return self._request(
+            {"op": "transform", "model": model, "document": document}
+        )["document"]
+
+    def transform_packed(self, model: str, document: str, decode: bool = True):
+        """Transform with a flat-DAG response (transducer models only).
+
+        With ``decode=True`` the postorder records are re-interned into
+        the same :class:`~repro.trees.tree.Tree` the local engine would
+        return; ``decode=False`` hands back the raw payload dict (the
+        throughput benchmark measures the wire, not the client's
+        decoder).
+        """
+        response = self._request(
+            {
+                "op": "transform",
+                "model": model,
+                "document": document,
+                "format": "packed",
+            }
+        )
+        packed = response["packed"]
+        if not decode:
+            return packed
+        from repro.serve.shard import decode_forest
+
+        records = tuple(tuple(record) for record in packed["records"])
+        return decode_forest((records, (packed["root"],)))[0]
+
+    def try_transform(
+        self, model: str, document: str
+    ) -> Union[str, ReproError]:
+        """Like :meth:`transform`, but failures come back as values."""
+        self._send({"op": "transform", "model": model, "document": document})
+        response = self._read_response()
+        if response.get("ok", False):
+            return response["document"]
+        return error_from_payload(response.get("error", {}))
+
+    def transform_stream(
+        self, model: str, stream: Union[str, bytes]
+    ) -> List[Union[str, ReproError]]:
+        """Ship an XML batch stream; per-document outcomes in order.
+
+        ``stream`` is the raw bytes of one XML document whose root
+        element wraps the batch members.  A stream-level failure (parse
+        error, unknown model) raises; per-document failures are
+        returned in place.
+        """
+        if isinstance(stream, str):
+            stream = stream.encode("utf-8")
+        self._send(
+            {
+                "op": "transform_stream",
+                "model": model,
+                "content_length": len(stream),
+            }
+        )
+        self._file.write(stream)
+        self._file.flush()
+        outcomes: List[Union[str, ReproError]] = []
+        while True:
+            response = self._read_response()
+            if response.get("done"):
+                error = response.get("error")
+                if error is not None:
+                    raise error_from_payload(error)
+                return outcomes
+            if response.get("ok", False):
+                outcomes.append(response["document"])
+            else:
+                outcomes.append(
+                    error_from_payload(response.get("error", {}))
+                )
+
+    # -- admin plane ----------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request({"op": "health"})
+
+    def stats(self) -> Dict:
+        return self._request({"op": "stats"})["stats"]
+
+    def models(self) -> List[Dict]:
+        return self._request({"op": "models"})["models"]
+
+    def reload(self) -> Dict[str, List[str]]:
+        return self._request({"op": "reload"})["reload"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop gracefully."""
+        self._request({"op": "shutdown"})
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,419 @@
+"""The model registry: named, versioned transformations loaded from disk.
+
+A registry watches one directory of JSON artifacts.  Two artifact kinds
+are served:
+
+* ``repro/dtop@1`` documents (written by :func:`repro.api.save`) — raw
+  transducers over ranked trees; request documents use the paper's term
+  syntax (``"f(a, g(b))"``) and results render the same way;
+* ``repro/xml-transformation@1`` bundles (written by ``repro learn
+  --save``) — end-to-end XML transformations; request documents are XML
+  and results render as XML.
+
+Naming: ``NAME@VERSION.json`` registers the model under ``NAME@VERSION``;
+``NAME.json`` is shorthand for version ``1``.  :meth:`ModelRegistry.get`
+resolves a bare ``NAME`` to its highest version (numeric versions order
+numerically, others lexicographically).
+
+Hot reload (:meth:`ModelRegistry.reload`) rescans the directory:
+
+* **kept** — files whose size and mtime are unchanged keep their live
+  entry, compiled engines, and worker pool;
+* **reloaded / dropped** — changed or removed files *retire* the old
+  entry: its machine's compiled-engine handle is dropped through the
+  existing :meth:`DTOP.clear_caches
+  <repro.transducers.dtop.DTOP.clear_caches>` invalidation contract and
+  its worker pool is shut down.  Retirement is deferred while requests
+  (or open streams) still hold the entry — in-flight work finishes on
+  the model version it started with; every *new* request resolves to
+  the new entry.
+
+Entries are reference-counted (:meth:`ModelEntry.acquire` /
+:meth:`ModelEntry.release`) by the batcher and the stream handlers; the
+registry itself is not thread-safe and is driven from the server's
+event loop (or a single test thread).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.engine import engine_for
+from repro.errors import (
+    ModelNotFoundError,
+    RegistryError,
+    ReproError,
+    ServiceError,
+)
+from repro.serialize import from_data as serialize_from_data
+from repro.trees.tree import Tree, parse_term
+from repro.transducers.dtop import DTOP
+from repro.xml.unranked import UTree
+from repro.xml.xmlio import parse_xml, serialize_xml
+
+#: Artifact kinds a registry serves.
+KIND_DTOP = "dtop"
+KIND_XML = "xml"
+
+#: Bundle format written by ``repro learn --save`` (see ``repro.cli``).
+XML_BUNDLE_FORMAT = "repro/xml-transformation@1"
+
+
+def _version_key(version: str) -> Tuple:
+    """Order versions numerically when possible, lexicographically else."""
+    try:
+        return (0, int(version), "")
+    except ValueError:
+        return (1, 0, version)
+
+
+def _parse_model_filename(path: Path) -> Tuple[str, str]:
+    """``NAME@VERSION.json`` → ``(NAME, VERSION)``; bare names get ``1``."""
+    stem = path.stem
+    if "@" in stem:
+        name, _, version = stem.partition("@")
+    else:
+        name, version = stem, "1"
+    if not name or not version:
+        raise RegistryError(
+            f"model filename {path.name!r} must look like NAME.json or "
+            f"NAME@VERSION.json"
+        )
+    return name, version
+
+
+class ModelEntry:
+    """One live model: machine, codecs, and its (lazy) worker service.
+
+    The entry knows how to parse a request document, translate a batch,
+    and render an outcome — the batcher and the protocol handlers stay
+    format-agnostic.  ``acquire``/``release`` bracket every use; a
+    retired entry tears down its engine handle and pool as soon as the
+    last holder releases it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        path: Path,
+        kind: str,
+        machine: DTOP,
+        transformation=None,
+        jobs: Optional[int] = None,
+        fingerprint: Optional[Tuple[int, int]] = None,
+    ):
+        self.name = name
+        self.version = version
+        self.path = path
+        self.kind = kind
+        self.machine = machine
+        self.transformation = transformation
+        self.jobs = max(1, jobs or 1)
+        self.fingerprint = fingerprint
+        self.requests = 0
+        self._service = None
+        self._refs = 0
+        self._retired = False
+        self._closed = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    # -- lifecycle ------------------------------------------------------
+
+    def acquire(self) -> "ModelEntry":
+        """Pin the entry: retirement defers until the last release."""
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        self._refs -= 1
+        if self._retired and self._refs <= 0:
+            self.close()
+
+    def retire(self) -> None:
+        """Mark the entry stale; close now unless requests still hold it."""
+        self._retired = True
+        if self._refs <= 0:
+            self.close()
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    def close(self) -> None:
+        """Drop the compiled-engine handle and shut the worker pool down.
+
+        Idempotent.  ``clear_caches`` is the library-wide invalidation
+        contract: any service still pointing at the machine re-packs on
+        its next dispatch instead of serving stale tables.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+        self.machine.clear_caches()
+
+    # -- serving --------------------------------------------------------
+
+    def service(self):
+        """The entry's sharded :class:`TransformService` (``jobs > 1``)."""
+        if self.jobs <= 1:
+            return None
+        if self._closed:
+            # Never resurrect a pool on a torn-down entry: close() has
+            # already run, so nothing would ever shut the new pool down.
+            raise ServiceError(f"model {self.key} has been unloaded")
+        if self._service is None:
+            from repro.serve import TransformService
+
+            self._service = TransformService(self.machine, jobs=self.jobs)
+        return self._service
+
+    def parse_document(self, text: str) -> Union[Tree, UTree]:
+        """Parse one request document in the model's input syntax."""
+        if self.kind == KIND_DTOP:
+            return parse_term(text)
+        return parse_xml(text, ignore_attributes=True)
+
+    def render_output(self, outcome) -> str:
+        """Render one successful outcome in the model's output syntax."""
+        if self.kind == KIND_DTOP:
+            return str(outcome)
+        return serialize_xml(outcome)
+
+    def render_packed(self, outcome: Tree) -> Dict[str, object]:
+        """Render a transducer outcome as flat DAG records.
+
+        The postorder ``(label, child-index…)`` table of
+        :func:`repro.serve.shard.encode_forest`: one record per
+        *distinct* subtree, so heavily shared outputs (an audit machine
+        checking one document under many states, say) cost their DAG
+        size on the wire, not their tree size — and the encoding is
+        iterative, so arbitrarily deep outputs are servable where the
+        recursive term renderer would overflow.
+        """
+        from repro.serve.shard import encode_forest
+
+        records, roots = encode_forest([outcome])
+        return {"records": records, "root": roots[0]}
+
+    def run_batch(self, documents: List) -> List:
+        """Translate a coalesced batch; per-document outcomes.
+
+        Outcomes are output trees or exception instances — one bad
+        document never fails the batch (the engine and
+        ``XMLTransformation.apply_batch`` both report per document).
+        """
+        self.requests += len(documents)
+        service = self.service()
+        if self.kind == KIND_XML:
+            return self.transformation.apply_batch(documents, service=service)
+        if service is not None:
+            return service.run_batch_outcomes(documents)
+        return engine_for(self.machine).run_batch_outcomes(documents)
+
+    def describe(self) -> Dict[str, object]:
+        info = {
+            "model": self.key,
+            "kind": self.kind,
+            "path": str(self.path),
+            "jobs": self.jobs,
+            "states": len(self.machine.states),
+            "rules": len(self.machine.rules),
+            "requests": self.requests,
+        }
+        if self._service is not None:
+            info["service"] = self._service.stats
+        return info
+
+
+def _load_entry(path: Path, jobs: Optional[int]) -> ModelEntry:
+    name, version = _parse_model_filename(path)
+    stat = path.stat()
+    fingerprint = (stat.st_mtime_ns, stat.st_size)
+    # One read, one JSON parse; the loaders below work on the parsed
+    # data (a large bundle must not be read and parsed twice per reload,
+    # and a single read narrows the window for catching a mid-write
+    # file whose fingerprint no longer matches its content).
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise RegistryError(f"cannot read model {path.name}: {error}") from None
+    format_key = data.get("format") if isinstance(data, dict) else None
+    if format_key == XML_BUNDLE_FORMAT:
+        from repro.cli import transformation_from_bundle
+
+        try:
+            transformation = transformation_from_bundle(data)
+        except (ReproError, KeyError) as error:
+            raise RegistryError(
+                f"cannot load model {path.name}: {error}"
+            ) from None
+        return ModelEntry(
+            name,
+            version,
+            path,
+            KIND_XML,
+            transformation.transducer,
+            transformation=transformation,
+            jobs=jobs,
+            fingerprint=fingerprint,
+        )
+    try:
+        machine = serialize_from_data(data)
+    except ReproError as error:
+        raise RegistryError(
+            f"cannot load model {path.name}: {error}"
+        ) from None
+    if not isinstance(machine, DTOP):
+        raise RegistryError(
+            f"model {path.name} holds a "
+            f"{type(machine).__name__}, not a transducer"
+        )
+    return ModelEntry(
+        name, version, path, KIND_DTOP, machine, jobs=jobs,
+        fingerprint=fingerprint,
+    )
+
+
+class ModelRegistry:
+    """Load, resolve, and hot-reload the models of one directory."""
+
+    def __init__(self, models_dir: Union[str, Path], jobs: Optional[int] = None):
+        self.models_dir = Path(models_dir)
+        self.jobs = jobs
+        self._entries: Dict[str, ModelEntry] = {}
+        self._stats = {
+            "loads": 0,
+            "reloads": 0,
+            "drops": 0,
+            "lookups": 0,
+            "misses": 0,
+        }
+        self._closed = False
+        if not self.models_dir.is_dir():
+            raise RegistryError(
+                f"model directory {self.models_dir} does not exist"
+            )
+        self.reload()
+
+    # -- loading --------------------------------------------------------
+
+    def reload(self) -> Dict[str, List[str]]:
+        """Rescan the directory; returns what happened per model key.
+
+        Unchanged files keep their live entries (and pools).  Changed
+        and removed files retire the old entry — deferred teardown, see
+        the module docstring — and changed files load a fresh one.
+        """
+        if self._closed:
+            raise RegistryError("registry is closed")
+        summary: Dict[str, List[str]] = {
+            "loaded": [],
+            "reloaded": [],
+            "kept": [],
+            "dropped": [],
+        }
+        # Two-phase: load everything first (any failure leaves the live
+        # table untouched — a half-written or corrupt file must not
+        # retire entries that are still serving), then commit + retire.
+        seen: Dict[str, ModelEntry] = {}
+        to_retire: List[ModelEntry] = []
+        for path in sorted(self.models_dir.glob("*.json"), key=lambda p: p.name):
+            name, version = _parse_model_filename(path)
+            key = f"{name}@{version}"
+            if key in seen:
+                raise RegistryError(
+                    f"duplicate model {key}: {seen[key].path.name} and "
+                    f"{path.name}"
+                )
+            old = self._entries.get(key)
+            stat = path.stat()
+            if old is not None and old.fingerprint == (
+                stat.st_mtime_ns,
+                stat.st_size,
+            ):
+                seen[key] = old
+                summary["kept"].append(key)
+                continue
+            seen[key] = _load_entry(path, self.jobs)
+            if old is None:
+                summary["loaded"].append(key)
+            else:
+                to_retire.append(old)
+                summary["reloaded"].append(key)
+        for key, entry in self._entries.items():
+            if key not in seen:
+                to_retire.append(entry)
+                summary["dropped"].append(key)
+        self._entries = seen
+        self._stats["loads"] += len(summary["loaded"])
+        self._stats["reloads"] += len(summary["reloaded"])
+        self._stats["drops"] += len(summary["dropped"])
+        for old in to_retire:
+            old.retire()
+        return summary
+
+    # -- resolution -----------------------------------------------------
+
+    def get(self, key: str) -> ModelEntry:
+        """Resolve ``name@version`` (exact) or ``name`` (highest version)."""
+        if self._closed:
+            raise RegistryError("registry is closed")
+        self._stats["lookups"] += 1
+        if "@" in key:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats["misses"] += 1
+                raise ModelNotFoundError(
+                    f"no model {key!r} in {self.models_dir} "
+                    f"(available: {', '.join(sorted(self._entries)) or 'none'})"
+                )
+            return entry
+        candidates = [
+            entry for entry in self._entries.values() if entry.name == key
+        ]
+        if not candidates:
+            self._stats["misses"] += 1
+            raise ModelNotFoundError(
+                f"no model named {key!r} in {self.models_dir} "
+                f"(available: {', '.join(sorted(self._entries)) or 'none'})"
+            )
+        return max(candidates, key=lambda e: _version_key(e.version))
+
+    def keys(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> Iterable[ModelEntry]:
+        return list(self._entries.values())
+
+    def describe(self) -> List[Dict[str, object]]:
+        return [self._entries[key].describe() for key in self.keys()]
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {**self._stats, "models": len(self._entries)}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Retire every entry and shut their pools down.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._entries.values():
+            entry.retire()
+        self._entries = {}
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

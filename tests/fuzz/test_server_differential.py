@@ -1,0 +1,148 @@
+"""Differential fuzzing of the network server against ``api.run``.
+
+Extends the PR 4 harness: the same random machines and forests are
+registered as served models, and a live server (concurrent clients,
+micro-batching enabled, hot reloads interleaved) must produce
+**byte-identical** outcomes — output terms and error type + message —
+to the local engine path, per document.
+
+``REPRO_FUZZ_SEEDS`` widens the seed budget exactly as for the local
+harness; one server instance hosts every seed's model, so the sweep
+cost stays dominated by the requests, not by server boots.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError, UndefinedTransductionError
+from repro.server import ServerClient, ServerThread
+
+from tests.fuzz.test_differential import (
+    FUZZ_SEEDS,
+    interpreter_outcomes,
+    outcome_bytes,
+    random_forest,
+    random_machine,
+)
+
+#: Concurrent blocking clients replaying the corpus.
+CLIENTS = 8
+
+
+def remote_outcome_bytes(outcome):
+    """Canonical byte form of a client outcome (str or exception)."""
+    if isinstance(outcome, Exception):
+        return (type(outcome).__name__, str(outcome))
+    return ("tree", outcome)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """Every seed's machine saved as a served model, plus its forest."""
+    directory = tmp_path_factory.mktemp("fuzz-models")
+    machines = {}
+    for seed in FUZZ_SEEDS:
+        machine, _domain = random_machine(seed)
+        api.save(machine, str(directory / f"m{seed}@1.json"))
+        machines[seed] = machine
+    return directory, machines
+
+
+def test_server_replay_byte_identical_under_concurrency(corpus):
+    directory, machines = corpus
+    references = {}
+    forests = {}
+    for seed, machine in machines.items():
+        forest = random_forest(machine, seed, count=12)
+        forests[seed] = forest
+        references[seed] = [
+            outcome_bytes(o) for o in interpreter_outcomes(machine, forest)
+        ]
+
+    with ServerThread(directory, max_wait_ms=2.0, max_batch=16) as handle:
+        jobs = [
+            (seed, index, str(document))
+            for seed, forest in forests.items()
+            for index, document in enumerate(forest)
+        ]
+        results = {}
+
+        def worker(worker_index):
+            with ServerClient(handle.host, handle.port) as client:
+                for position in range(worker_index, len(jobs), CLIENTS):
+                    seed, index, document = jobs[position]
+                    results[(seed, index)] = client.try_transform(
+                        f"m{seed}", document
+                    )
+
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            list(pool.map(worker, range(CLIENTS)))
+
+        stats = ServerClient(handle.host, handle.port).stats()
+
+    for seed, reference in references.items():
+        got = [
+            remote_outcome_bytes(results[(seed, index)])
+            for index in range(len(reference))
+        ]
+        assert got == reference, f"seed {seed} diverged"
+    assert stats["batcher"]["documents"] == len(jobs)
+    # Eight concurrent clients against a 2 ms window: dispatches must
+    # actually have coalesced, or this test is not testing batching.
+    assert stats["batcher"]["batches"] < len(jobs)
+
+
+def test_server_replay_survives_hot_reloads(corpus, tmp_path):
+    """Interleaved hot reloads (same semantics, new mtimes) never change
+    a single byte of the replayed corpus."""
+    directory, machines = corpus
+    seeds = sorted(machines)[:4] or sorted(machines)
+    with ServerThread(directory, max_wait_ms=1.0) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            for round_index in range(3):
+                for seed in seeds:
+                    machine = machines[seed]
+                    forest = random_forest(machine, seed, count=6)
+                    reference = [
+                        outcome_bytes(o)
+                        for o in interpreter_outcomes(machine, forest)
+                    ]
+                    got = [
+                        remote_outcome_bytes(
+                            client.try_transform(f"m{seed}@1", str(document))
+                        )
+                        for document in forest
+                    ]
+                    assert got == reference, f"seed {seed} diverged"
+                # Rewrite one model byte-identically but with a fresh
+                # mtime: the registry must swap entries, not semantics.
+                victim = seeds[round_index % len(seeds)]
+                path = directory / f"m{victim}@1.json"
+                text = path.read_text()
+                time.sleep(0.01)
+                path.write_text(text)
+                summary = client.reload()
+                assert f"m{victim}@1" in summary["reloaded"]
+
+
+def test_server_and_local_error_objects_interchange(corpus):
+    """client.transform raises exactly what api.run raises."""
+    directory, machines = corpus
+    seed = sorted(machines)[1] if len(machines) > 1 else sorted(machines)[0]
+    machine = machines[seed]
+    forest = random_forest(machine, seed, count=10)
+    with ServerThread(directory) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            for document in forest:
+                try:
+                    local = ("tree", str(api.run(machine, document)))
+                except UndefinedTransductionError as error:
+                    local = (type(error), str(error))
+                try:
+                    remote = ("tree", client.transform(f"m{seed}", str(document)))
+                except ReproError as error:
+                    remote = (type(error), str(error))
+                assert remote == local

@@ -244,3 +244,59 @@ class TestStaleTableInvalidation:
             list(service.map([document]))
             assert service.stats["repacks"] == 1
             assert service.stats["pool_restarts"] == 0
+
+
+class TestCloseLifecycle:
+    """close() is idempotent, crash-safe, and atexit-registered."""
+
+    def test_double_close_is_a_noop(self):
+        machine, _ = random_total_dtop(2, seed=5)
+        service = TransformService(machine, jobs=2)
+        list(service.map(forest_for(machine, seed=7, count=4)))
+        service.close()
+        service.close()  # must not raise, hang, or restart anything
+        with pytest.raises(ServiceError):
+            service.submit(leaf("a"))
+
+    def test_close_after_worker_crash(self, monkeypatch):
+        monkeypatch.setenv(CRASH_LABEL_ENV, "kaboom")
+        machine = partial_machine()
+        forest = forest_for(machine, count=6)
+        forest[1] = Tree("kaboom", ())
+        service = TransformService(machine, jobs=2, chunk_size=1)
+        outcomes = list(service.map(forest))
+        assert any(isinstance(o, ServiceError) for o in outcomes)
+        service.close()
+        service.close()
+
+    def test_close_with_unconsumed_inflight_work(self):
+        machine, _ = random_total_dtop(2, seed=9)
+        service = TransformService(machine, jobs=2, chunk_size=1)
+        for document in forest_for(machine, seed=13, count=5):
+            service.submit(document)
+        # Never consume results(): close() must still not leak or hang.
+        service.close()
+        service.close()
+
+    def test_live_registry_tracks_open_services(self):
+        from repro.serve import service as service_module
+
+        machine, _ = random_total_dtop(2, seed=4)
+        service = TransformService(machine, jobs=2)
+        assert service in service_module._LIVE_SERVICES
+        service.close()
+        assert service not in service_module._LIVE_SERVICES
+
+    def test_atexit_hook_closes_abandoned_services(self):
+        from repro.serve import service as service_module
+
+        machine, _ = random_total_dtop(2, seed=6)
+        abandoned = TransformService(machine, jobs=2)
+        list(abandoned.map(forest_for(machine, seed=8, count=3)))
+        assert abandoned in service_module._LIVE_SERVICES
+        # Simulate interpreter exit: the registered hook must close it
+        # (and be idempotent when everything is already closed).
+        service_module._close_live_services()
+        assert abandoned._closed
+        assert abandoned._executor is None
+        service_module._close_live_services()

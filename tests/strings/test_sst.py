@@ -97,3 +97,60 @@ class TestApply:
     def test_describe(self):
         sst, _ = learn_string_transducer(rot13ish_examples(), letters="ab")
         assert "prefix" in sst.describe()
+
+
+class TestTransducerObject:
+    """Direct coverage of the SequentialStringTransducer wrapper."""
+
+    def test_constant_transducer_emits_only_the_prefix(self):
+        constant = SequentialStringTransducer(
+            initial=None, prefix="xy", transitions={}, final={}
+        )
+        # With no initial state the prefix is the entire translation,
+        # whatever the input word.
+        assert constant.apply("") == "xy"
+        assert constant.apply("abba") == "xy"
+        assert constant.states == []
+        assert "initial: None" in constant.describe()
+
+    def test_non_final_end_state_rejected(self):
+        sst = SequentialStringTransducer(
+            initial="q0",
+            prefix="",
+            transitions={("q0", "a"): ("q1", "x")},
+            final={"q0": ""},
+        )
+        assert sst.apply("") == ""
+        with pytest.raises(TransducerError) as caught:
+            sst.apply("a")  # lands in q1, which has no final suffix
+        assert "not final" in str(caught.value)
+
+    def test_states_cover_transitions_finals_and_initial(self):
+        sst = SequentialStringTransducer(
+            initial="start",
+            prefix="p",
+            transitions={("start", "a"): ("mid", "")},
+            final={"other": "!"},
+        )
+        assert sst.states == ["mid", "other", "start"]
+
+    def test_describe_lists_transitions_and_final_suffixes(self):
+        sst, _ = learn_string_transducer(rot13ish_examples(), letters="ab")
+        description = sst.describe()
+        assert "--a:'b'-->" in description
+        assert "⊣" in description  # final-suffix lines are printed
+
+
+class TestLearningDefaults:
+    def test_letters_default_to_those_of_the_examples(self):
+        # No explicit alphabet: inferred from the example inputs.
+        sst, learned = learn_string_transducer(rot13ish_examples())
+        assert sst.apply("abba") == "baab"
+        assert learned.dtop is not None
+
+    def test_explicit_domain_is_honoured(self):
+        domain = words_dtta("ab")
+        sst, _ = learn_string_transducer(
+            rot13ish_examples(), letters="ab", domain=domain
+        )
+        assert sst.apply("ba") == "ab"

@@ -116,3 +116,82 @@ class TestCacheManagement:
         Tree("f", (Tree("a", ()), Tree("a", ())))
         api.clear_caches()
         assert api.cache_stats()["lcp"]["entries"] == 0
+
+
+class TestCompose:
+    """api.compose: second(first(s)), with parity pinned on the flip
+    corpus."""
+
+    def _swap_relabel(self):
+        """A total one-state machine on the flip alphabet: a ↔ b."""
+        from repro.workloads.flip import FLIP_ALPHABET
+        from repro.transducers.rhs import call
+
+        rules = {
+            ("q", "root"): Tree("root", (call("q", 1), call("q", 2))),
+            ("q", "a"): Tree("b", (call("q", 1), call("q", 2))),
+            ("q", "b"): Tree("a", (call("q", 1), call("q", 2))),
+            ("q", "#"): Tree("#", ()),
+        }
+        return DTOP(FLIP_ALPHABET, FLIP_ALPHABET, call("q", 0), rules)
+
+    def test_parity_on_the_flip_corpus(self):
+        from repro.workloads.flip import flip_input, flip_transducer
+
+        first = flip_transducer()
+        second = self._swap_relabel()
+        composed = api.compose(first, second)
+        for n_as in range(5):
+            for n_bs in range(5):
+                source = flip_input(n_as, n_bs)
+                chained = api.run(second, api.run(first, source))
+                assert api.run(composed, source) == chained
+
+    def test_undefinedness_agrees_on_the_flip_corpus(self):
+        from repro.workloads.flip import flip_input, flip_transducer
+
+        # flip's own output leaves flip's domain except for empty lists,
+        # so flip ∘ flip is defined exactly where the chain is.
+        first = flip_transducer()
+        composed = api.compose(first, first)
+        for n_as in range(3):
+            for n_bs in range(3):
+                source = flip_input(n_as, n_bs)
+                try:
+                    api.run(first, api.run(first, source))
+                    chain_defined = True
+                except UndefinedTransductionError:
+                    chain_defined = False
+                try:
+                    got = api.run(composed, source)
+                    assert chain_defined and got == source
+                except UndefinedTransductionError:
+                    assert not chain_defined
+
+    def test_accepts_wrapped_transducers(self):
+        from repro.workloads.flip import flip_transducer
+
+        second = self._swap_relabel()
+        learned_like = api.minimize(second)  # a CanonicalDTOP wrapper
+        composed = api.compose(flip_transducer(), learned_like)
+        assert str(api.run(composed, "root(#, #)")) == "root(#, #)"
+
+    def test_exported_from_the_transducers_package(self):
+        import repro.transducers as transducers
+
+        assert transducers.compose is not None
+        assert "compose" in transducers.__all__
+
+
+class TestNetworkFacade:
+    def test_connect_and_serve_forever_are_wired(self, tmp_path):
+        from repro.server import ServerClient, ServerThread
+        from repro.workloads.flip import flip_transducer
+
+        api.save(flip_transducer(), str(tmp_path / "flip@1.json"))
+        with ServerThread(tmp_path) as handle:
+            with api.connect(handle.host, handle.port) as client:
+                assert isinstance(client, ServerClient)
+                assert client.transform("flip", "root(#, #)") == "root(#, #)"
+        # serve_forever is the blocking CLI face of the same stack.
+        assert callable(api.serve_forever)

@@ -428,3 +428,57 @@ class TestServeAndStream:
         for index, document in enumerate(documents):
             rendered = (out_dir / f"doc{index}.out.xml").read_text()
             assert parse_xml(rendered) == transform_xmlflip(document)
+
+
+class TestStatsGoToStderr:
+    """stdout must stay pipeable as document output — every statistics
+    and summary line of the serving surfaces lands on stderr."""
+
+    @pytest.fixture
+    def saved(self, workspace, capsys):
+        path = workspace / "transform.json"
+        main(
+            [
+                "learn",
+                "--input-dtd", str(workspace / "in.dtd"),
+                "--output-dtd", str(workspace / "out.dtd"),
+                "--examples", str(workspace / "examples"),
+                "--save", str(path),
+                "--compact-lists",
+            ]
+        )
+        capsys.readouterr()
+        return path
+
+    def test_serve_stats_never_touch_stdout(self, workspace, saved, capsys):
+        documents = [xmlflip_document(n % 3, n % 2) for n in range(5)]
+        stream = workspace / "batch.xml"
+        stream.write_text(
+            "<batch>"
+            + "".join(serialize_xml(d, indent=None) for d in documents)
+            + "</batch>"
+        )
+        code = main(
+            [
+                "serve",
+                "--transform", str(saved),
+                "--input", str(stream),
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # stderr carries the summary and the statistics...
+        assert "documents transformed" in captured.err
+        assert "stats:" in captured.err
+        # ...while stdout is exactly the documents (plus separators).
+        assert "stats:" not in captured.out
+        assert "transformed" not in captured.out
+        rendered = [
+            chunk for chunk in captured.out.split("<!-- document #")
+            if chunk.strip()
+        ]
+        assert len(rendered) == len(documents)
+        for index, document in enumerate(documents):
+            body = rendered[index].split("-->", 1)[1]
+            assert parse_xml(body) == transform_xmlflip(document)

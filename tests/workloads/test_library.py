@@ -1,0 +1,117 @@
+"""Direct coverage of every public entry of ``workloads.library``.
+
+The pipeline and encoding suites exercise the library workload
+end-to-end; this module pins the workload helpers themselves — document
+builders, the reference semantics, and the teaching/suffix sample
+constructions the fuzz harness never touches.
+"""
+
+from repro.workloads.library import (
+    BOOK_P,
+    BOOK_Q,
+    BOOK_R,
+    library_book,
+    library_document,
+    library_examples,
+    library_input_dtd,
+    library_output_dtd,
+    library_suffix_document,
+    library_suffix_examples,
+    library_teaching_examples,
+    library_transducer,
+    transform_library,
+)
+from repro.xml.encode import DTDEncoder
+
+
+class TestDocumentBuilders:
+    def test_library_book_shape(self):
+        book = library_book("ann", "tales", "1999")
+        assert book.label == "BOOK"
+        assert [child.label for child in book.children] == [
+            "AUTHOR",
+            "TITLE",
+            "YEAR",
+        ]
+        assert book.children[1].children[0].text == "tales"
+
+    def test_library_document_counts(self):
+        assert library_document(0).children == ()
+        assert len(library_document(3).children) == 3
+
+    def test_suffix_document_nests_suffix_chains(self):
+        # The rest of document k's book list IS document k-1's list.
+        bigger = library_suffix_document(3)
+        smaller = library_suffix_document(2)
+        assert bigger.children[1:] == smaller.children
+
+    def test_documents_conform_to_the_input_dtd(self):
+        encoder = DTDEncoder(library_input_dtd(), fuse=True)
+        for count in range(4):
+            encoder.encode(library_document(count))
+            encoder.encode(library_suffix_document(count))
+
+
+class TestReferenceSemantics:
+    def test_transform_library_swaps_copies_and_deletes(self):
+        document = library_document(2)
+        result = transform_library(document)
+        assert result.label == "LIBRARY"
+        summary, *books = result.children
+        assert summary.label == "SUMMARY"
+        assert [t.children[0].text for t in summary.children] == [
+            "title1",
+            "title2",
+        ]
+        for index, book in enumerate(books, start=1):
+            assert [child.label for child in book.children] == [
+                "TITLE",
+                "AUTHOR",
+            ]
+            assert book.children[0].children[0].text == f"title{index}"
+            assert book.children[1].children[0].text == f"author{index}"
+            assert "YEAR" not in [c.label for c in book.children]
+
+    def test_outputs_conform_to_the_output_dtd(self):
+        encoder = DTDEncoder(library_output_dtd(), fuse=True)
+        for count in range(4):
+            encoder.encode(transform_library(library_document(count)))
+
+    def test_hand_written_transducer_matches_reference(self):
+        enc_in = DTDEncoder(library_input_dtd(), fuse=True)
+        enc_out = DTDEncoder(library_output_dtd(), fuse=True)
+        target = library_transducer()
+        for count in range(4):
+            document = library_document(count)
+            got = target.apply(enc_in.encode(document))
+            assert got == enc_out.encode(transform_library(document))
+
+
+class TestSampleConstructions:
+    def test_library_examples_default_counts(self):
+        examples = library_examples()
+        assert len(examples) == 4
+        for source, target in examples:
+            assert transform_library(source) == target
+
+    def test_suffix_examples_are_consistent_and_overlapping(self):
+        examples = library_suffix_examples(3)
+        assert len(examples) == 4
+        for source, target in examples:
+            assert transform_library(source) == target
+        sizes = [len(source.children) for source, _ in examples]
+        assert sizes == [0, 1, 2, 3]
+
+    def test_teaching_examples_vary_one_factor_at_a_time(self):
+        examples = library_teaching_examples()
+        assert len(examples) == 7
+        for source, target in examples:
+            assert transform_library(source) == target
+        # The three singleton books differ pairwise in exactly one text.
+        def texts(book_fields):
+            return list(book_fields)
+
+        p, q, r = texts(BOOK_P), texts(BOOK_Q), texts(BOOK_R)
+        assert sum(a != b for a, b in zip(p, q)) == 1
+        assert sum(a != b for a, b in zip(p, r)) == 1
+        assert q != r
