@@ -258,7 +258,8 @@ def serve_forever(
     artifacts (raw transducers and XML transformation bundles), coalesces
     concurrent requests into micro-batches, and shards each model across
     ``jobs`` worker processes.  Extra ``knobs`` — ``max_batch``,
-    ``max_wait_ms``, ``max_pending``, ``stats`` — are forwarded to
+    ``max_wait_ms``, ``max_pending``, ``stats``, ``metrics``,
+    ``log_json`` — are forwarded to
     :func:`repro.server.app.serve_forever`.  Blocks; returns the exit
     code.
     """

@@ -513,6 +513,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         stats=args.stats,
+        metrics=args.metrics,
+        log_json=args.log_json,
     )
 
 
@@ -690,6 +692,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print server statistics to stderr on shutdown",
+    )
+    server.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the final Prometheus metrics exposition to stderr "
+        "on shutdown (live scrape: the 'metrics' protocol verb)",
+    )
+    server.add_argument(
+        "--log-json",
+        action="store_true",
+        help="stream structured one-line JSON events (reloads, shard "
+        "crashes/restarts/quarantines) to stderr",
     )
     server.set_defaults(func=_cmd_server)
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import threading
 import weakref
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -126,6 +127,10 @@ class TransformService:
         self.max_pending = max_pending if max_pending else 2 * self.jobs
         self._parallel = self.jobs > 1
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Guards executor replacement: dispatches run on the batcher's
+        #: executor threads while a supervisor may restart the pool from
+        #: the event loop — the swap itself must be atomic.
+        self._pool_lock = threading.Lock()
         self._payload: Optional[tuple] = None
         self._source_engine = None
         self._pending_docs: List[Tree] = []
@@ -157,26 +162,70 @@ class TransformService:
         if self._parallel:
             self._payload = shard.pack_engine(engine.compiled)
             self._stats["repacks"] += 1
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
-                self._stats["pool_restarts"] += 1
+            with self._pool_lock:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
+                    self._executor = None
+                    self._stats["pool_restarts"] += 1
 
     def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=_pool_context(),
-                initializer=shard.init_worker,
-                initargs=(self._payload,),
-            )
-        return self._executor
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=_pool_context(),
+                    initializer=shard.init_worker,
+                    initargs=(self._payload,),
+                )
+            return self._executor
 
     def _restart_pool(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        with self._pool_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
         self._stats["pool_restarts"] += 1
+
+    # -- supervision hooks ----------------------------------------------
+
+    def pool_broken(self) -> bool:
+        """Whether the current worker pool has lost a process.
+
+        The executor flags itself broken as soon as its management
+        thread sees a worker die — usually before any dispatch
+        discovers it — which is what lets a supervisor react to a crash
+        between requests.
+        """
+        executor = self._executor
+        return bool(executor is not None and getattr(executor, "_broken", False))
+
+    def warm(self) -> None:
+        """Pack tables and start the worker pool now (parallel only).
+
+        Dispatch does all of this lazily; warming moves the fork cost
+        off the first request's latency — and off the restart path.
+        """
+        if self._closed or not self._parallel:
+            return
+        self._ensure_fresh()
+        self._pool()
+
+    def restart(self) -> bool:
+        """Supervised restart: discard a broken pool, prestart a fresh one.
+
+        Safe against a concurrent dispatch: only a pool the executor
+        itself reports broken is discarded (its in-flight chunks fail
+        over through the existing retry path — a break from a replaced
+        pool never touches the fresh one), and the replacement is warmed
+        before returning.  Returns ``False`` on closed or in-process
+        services, ``True`` after a restart.
+        """
+        if self._closed or not self._parallel:
+            return False
+        if self.pool_broken():
+            self._restart_pool()
+        self.warm()
+        return True
 
     # -- dispatch and collection ----------------------------------------
 
@@ -355,8 +404,9 @@ class TransformService:
         self._pending_docs = []
         self._inflight.clear()
         self._unresolved.clear()
-        if self._executor is not None:
+        with self._pool_lock:
             executor, self._executor = self._executor, None
+        if executor is not None:
             try:
                 executor.shutdown(wait=True)
             except Exception:  # pragma: no cover - defensive: a pool

@@ -327,8 +327,35 @@ WORKER_MEMO_LIMIT = 1 << 18
 _WORKER_ENGINE: Optional[Engine] = None
 
 
+def _reset_inherited_signal_plumbing() -> None:
+    """Detach this worker from the parent's asyncio signal machinery.
+
+    Fork-start workers inherit the parent's signal dispositions *and*
+    its ``signal.set_wakeup_fd`` self-pipe.  If the parent is an asyncio
+    server with ``add_signal_handler`` installed, a signal delivered to
+    a worker (e.g. the executor's own ``terminate()`` while cleaning up
+    a broken pool) would be written into the shared wakeup pipe and
+    replayed by the *parent's* event loop as if the parent had been
+    signalled — gracefully stopping a healthy server because one of its
+    workers was told to die.  Clearing the wakeup fd and restoring
+    default dispositions keeps worker-directed signals in the worker.
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        return
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+
+
 def init_worker(payload: tuple) -> None:
     """Pool initializer: unpack the engine tables once per worker."""
+    _reset_inherited_signal_plumbing()
     global _WORKER_ENGINE
     _WORKER_ENGINE = unpack_engine(payload)
 

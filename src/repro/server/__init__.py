@@ -26,6 +26,22 @@ into an actual multi-tenant network service:
 :mod:`repro.server.client`
     a small blocking client with byte-identical error round-tripping.
 
+:mod:`repro.server.metrics`
+    the lock-cheap in-process metrics registry — per-model counters,
+    gauges, and streaming latency histograms with quantile estimation —
+    served by the ``metrics`` protocol verb both as a structured
+    snapshot and as Prometheus text exposition.
+
+:mod:`repro.server.supervisor`
+    the periodic shard supervisor: crash detection from service stats,
+    restart with exponential backoff, quarantine of flapping shards
+    (degrading them to in-process serving), all observable through
+    metrics and the structured event log.
+
+:mod:`repro.server.logging`
+    one-line JSON structured events (``--log-json``) for startup,
+    reloads, shard lifecycle, and shutdown.
+
 Entry points for users: ``api.serve_forever(models_dir, ...)``,
 ``api.connect(host, port)``, and the CLI ``repro server`` /
 ``repro apply --remote HOST:PORT``.
@@ -34,7 +50,10 @@ Entry points for users: ``api.serve_forever(models_dir, ...)``,
 from repro.server.app import ServerThread, TransformServer, serve_forever
 from repro.server.batcher import MicroBatcher
 from repro.server.client import ServerClient
+from repro.server.logging import EventLog
+from repro.server.metrics import Histogram, ServerMetrics, validate_exposition
 from repro.server.registry import ModelEntry, ModelRegistry
+from repro.server.supervisor import ShardSupervisor
 
 __all__ = [
     "ModelEntry",
@@ -44,4 +63,9 @@ __all__ = [
     "ServerThread",
     "serve_forever",
     "ServerClient",
+    "ServerMetrics",
+    "Histogram",
+    "validate_exposition",
+    "EventLog",
+    "ShardSupervisor",
 ]

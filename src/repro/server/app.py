@@ -25,9 +25,24 @@ Protocol — one JSON object per ``\\n``-terminated line, UTF-8:
     entry is pinned for the whole stream: a hot reload mid-stream
     affects new requests, never the documents of an open stream.
 
-``health`` / ``stats`` / ``models`` / ``reload`` / ``shutdown``
-    Admin plane: liveness, the registry + batcher + per-model service
-    counters, the model list, a registry rescan, and graceful stop.
+``health`` / ``stats`` / ``models`` / ``metrics`` / ``reload`` /
+``shutdown``
+    Admin plane: liveness (``status`` is ``"serving"``, or
+    ``"degraded"`` while the supervisor has a shard in quarantine),
+    the registry + batcher + per-model service counters, the model
+    list, the metrics snapshot (per-model counters and latency
+    quantiles as JSON, plus the Prometheus text exposition under
+    ``"text"``), a registry rescan, and graceful stop.
+
+Observability: every server owns a
+:class:`~repro.server.metrics.ServerMetrics` registry (request /
+queue-wait / batch-assembly / dispatch latency histograms with
+p50/p95/p99, per-model request and overload counters, crash / restart /
+quarantine / reload-outcome counters), an
+:class:`~repro.server.logging.EventLog` for structured JSON events, and
+— for sharded models — a :class:`~repro.server.supervisor.ShardSupervisor`
+reconciliation task that restarts crashed worker pools with exponential
+backoff and quarantines flapping shards.
 
 Admission control: every transform(_stream) document passes through the
 micro-batcher's bounded pending queue; past the bound the server answers
@@ -48,7 +63,12 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.errors import RegistryError, ReproError, ServiceError
+from repro.errors import (
+    OverloadedError,
+    RegistryError,
+    ReproError,
+    ServiceError,
+)
 from repro.serve.stream import StreamParser
 from repro.server.batcher import (
     DEFAULT_MAX_BATCH,
@@ -56,7 +76,10 @@ from repro.server.batcher import (
     DEFAULT_MAX_WAIT_MS,
     MicroBatcher,
 )
+from repro.server.logging import EventLog
+from repro.server.metrics import ServerMetrics
 from repro.server.registry import KIND_XML, ModelRegistry
+from repro.server.supervisor import ShardSupervisor
 
 #: Read size for transform_stream bodies.
 STREAM_CHUNK_BYTES = 1 << 16
@@ -102,15 +125,35 @@ class TransformServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         max_pending: int = DEFAULT_MAX_PENDING,
+        metrics: Optional[ServerMetrics] = None,
+        events: Optional[EventLog] = None,
+        supervise: bool = True,
+        supervise_interval: float = 1.0,
+        supervisor_options: Optional[Dict] = None,
     ):
         self.registry = registry
         self.host = host
         self.port = port
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.events = events if events is not None else EventLog(enabled=False)
         self.batcher = MicroBatcher(
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             max_pending=max_pending,
+            metrics=self.metrics,
         )
+        self.supervisor: Optional[ShardSupervisor] = (
+            ShardSupervisor(
+                registry,
+                self.metrics,
+                self.events,
+                interval=supervise_interval,
+                **(supervisor_options or {}),
+            )
+            if supervise
+            else None
+        )
+        self._supervisor_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._started_at = time.monotonic()
@@ -132,6 +175,16 @@ class TransformServer:
             limit=MAX_LINE_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.supervisor is not None:
+            self._supervisor_task = asyncio.ensure_future(
+                self.supervisor.run()
+            )
+        self.events.emit(
+            "server.start",
+            host=self.host,
+            port=self.port,
+            models=self.registry.keys(),
+        )
 
     async def serve_until_stopped(self) -> None:
         """Serve until :meth:`request_stop`; then tear everything down."""
@@ -154,8 +207,20 @@ class TransformServer:
             await asyncio.gather(
                 *list(self._conn_tasks), return_exceptions=True
             )
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            try:
+                await self._supervisor_task
+            except asyncio.CancelledError:
+                pass
+            self._supervisor_task = None
         await self.batcher.close()
         self.registry.close()
+        self.events.emit(
+            "server.stop",
+            requests=self._stats["requests"],
+            connections=self._stats["connections"],
+        )
 
     def request_stop(self) -> None:
         """Signal a graceful stop (safe to call from the loop only)."""
@@ -164,7 +229,7 @@ class TransformServer:
 
     @property
     def stats(self) -> Dict[str, object]:
-        return {
+        snapshot = {
             "server": {
                 **self._stats,
                 "uptime_s": time.monotonic() - self._started_at,
@@ -175,6 +240,9 @@ class TransformServer:
             "batcher": self.batcher.stats,
             "models": self.registry.describe(),
         }
+        if self.supervisor is not None:
+            snapshot["supervisor"] = self.supervisor.stats
+        return snapshot
 
     # -- connection handling --------------------------------------------
 
@@ -182,6 +250,7 @@ class TransformServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._stats["connections"] += 1
+        self.metrics.inc("repro_connections_total")
         self._conn_tasks.add(asyncio.current_task())
         self._open_writers.add(writer)
         try:
@@ -191,7 +260,7 @@ class TransformServer:
                 except ValueError:
                     # The line blew through MAX_LINE_BYTES; the buffered
                     # rest is unframed, so answer and hang up.
-                    self._stats["bad_requests"] += 1
+                    self._note_bad_request()
                     await self._write(
                         writer,
                         {
@@ -225,6 +294,10 @@ class TransformServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def _note_bad_request(self) -> None:
+        self._stats["bad_requests"] += 1
+        self.metrics.inc("repro_bad_requests_total")
+
     async def _write(self, writer: asyncio.StreamWriter, payload: Dict) -> None:
         writer.write(json.dumps(payload, ensure_ascii=False).encode() + b"\n")
         await writer.drain()
@@ -241,7 +314,7 @@ class TransformServer:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as error:
-            self._stats["bad_requests"] += 1
+            self._note_bad_request()
             await self._write(
                 writer,
                 {"ok": False, "error": _error_payload(error, BAD_REQUEST)},
@@ -255,11 +328,12 @@ class TransformServer:
             "health": self._op_health,
             "stats": self._op_stats,
             "models": self._op_models,
+            "metrics": self._op_metrics,
             "reload": self._op_reload,
             "shutdown": self._op_shutdown,
         }.get(op)
         if handler is None:
-            self._stats["bad_requests"] += 1
+            self._note_bad_request()
             await self._write(
                 writer,
                 {
@@ -273,13 +347,26 @@ class TransformServer:
 
     # -- operations -----------------------------------------------------
 
+    def _note_outcome(
+        self, model_label: str, outcome: str, started_at: float
+    ) -> None:
+        """The completion hook: request latency + outcome counter."""
+        labels = {"model": model_label, "outcome": outcome}
+        self.metrics.inc("repro_requests_total", labels)
+        self.metrics.observe(
+            "repro_request_seconds",
+            {"model": model_label},
+            max(0.0, time.monotonic() - started_at),
+        )
+
     async def _op_transform(self, request, _reader, writer) -> None:
+        started_at = time.monotonic()
         request_id = request.get("id")
         try:
             model = request["model"]
             document = request["document"]
         except KeyError as missing:
-            self._stats["bad_requests"] += 1
+            self._note_bad_request()
             await self._write(
                 writer,
                 {
@@ -293,7 +380,7 @@ class TransformServer:
             return
         response_format = request.get("format", "text")
         if response_format not in ("text", "packed"):
-            self._stats["bad_requests"] += 1
+            self._note_bad_request()
             await self._write(
                 writer,
                 {
@@ -306,8 +393,13 @@ class TransformServer:
                 },
             )
             return
+        # Unresolvable names share one label value: metric cardinality
+        # must not be client-controlled.
+        model_label = "<unresolved>"
+        outcome_label = "error"
         try:
             entry = self.registry.get(str(model))
+            model_label = entry.key
             if response_format == "packed" and entry.kind == KIND_XML:
                 raise ServiceError(
                     f"model {entry.key} is an XML transformation bundle; "
@@ -322,7 +414,10 @@ class TransformServer:
                     "model": entry.key,
                     "error": _error_payload(outcome),
                 }
+                if isinstance(outcome, OverloadedError):
+                    outcome_label = "overload"
             elif response_format == "packed":
+                outcome_label = "ok"
                 response = {
                     "id": request_id,
                     "ok": True,
@@ -330,12 +425,20 @@ class TransformServer:
                     "packed": entry.render_packed(outcome),
                 }
             else:
+                outcome_label = "ok"
                 response = {
                     "id": request_id,
                     "ok": True,
                     "model": entry.key,
                     "document": entry.render_output(outcome),
                 }
+        except OverloadedError as error:
+            outcome_label = "overload"
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error_payload(error),
+            }
         except ReproError as error:
             response = {
                 "id": request_id,
@@ -357,6 +460,7 @@ class TransformServer:
                     )
                 ),
             }
+        self._note_outcome(model_label, outcome_label, started_at)
         await self._write(writer, response)
 
     async def _op_transform_stream(self, request, reader, writer) -> None:
@@ -384,7 +488,7 @@ class TransformServer:
             if remaining < 0:
                 raise ValueError("content_length must be non-negative")
         except (KeyError, TypeError, ValueError) as error:
-            self._stats["bad_requests"] += 1
+            self._note_bad_request()
             await self._write(
                 writer,
                 {
@@ -483,10 +587,19 @@ class TransformServer:
 
     async def _submit_stream_document(self, entry, document):
         """One stream document through the batcher; outcomes, not raises."""
+        started_at = time.monotonic()
         try:
-            return await self.batcher.submit(entry, document)
+            outcome = await self.batcher.submit(entry, document)
         except ReproError as error:  # overload/shutdown → per-doc outcome
-            return error
+            outcome = error
+        if isinstance(outcome, OverloadedError):
+            label = "overload"
+        elif isinstance(outcome, Exception):
+            label = "error"
+        else:
+            label = "ok"
+        self._note_outcome(entry.key, label, started_at)
+        return outcome
 
     async def _answer_stream_document(
         self, writer, request_id, entry, count, failures, task
@@ -522,15 +635,28 @@ class TransformServer:
             remaining -= len(chunk)
 
     async def _op_health(self, request, _reader, writer) -> None:
+        degraded = self.supervisor is not None and self.supervisor.degraded
+        payload = {
+            "id": request.get("id"),
+            "ok": True,
+            "status": "degraded" if degraded else "serving",
+            "models": self.registry.keys(),
+            "pending": self.batcher.pending,
+            "uptime_s": time.monotonic() - self._started_at,
+        }
+        if self.supervisor is not None:
+            payload["shards"] = self.supervisor.describe()
+        await self._write(writer, payload)
+
+    async def _op_metrics(self, request, _reader, writer) -> None:
+        """The metrics snapshot (JSON) plus the Prometheus exposition."""
         await self._write(
             writer,
             {
                 "id": request.get("id"),
                 "ok": True,
-                "status": "serving",
-                "models": self.registry.keys(),
-                "pending": self.batcher.pending,
-                "uptime_s": time.monotonic() - self._started_at,
+                "metrics": self.metrics.snapshot(),
+                "text": self.metrics.render_prometheus(),
             },
         )
 
@@ -553,6 +679,10 @@ class TransformServer:
         try:
             summary = self.registry.reload()
         except RegistryError as error:
+            # Registry-level failure (unreadable directory, duplicate
+            # keys): nothing changed, but the outcome is still recorded.
+            self.metrics.inc("repro_reload_total", {"outcome": "failed"})
+            self.events.emit("registry.reload", error=str(error))
             await self._write(
                 writer,
                 {
@@ -562,8 +692,28 @@ class TransformServer:
                 },
             )
             return
+        self._record_reload(summary)
         await self._write(
             writer, {"id": request.get("id"), "ok": True, "reload": summary}
+        )
+
+    def _record_reload(self, summary: Dict) -> None:
+        """Reload outcomes land in metrics and the structured log —
+        not only in the caller's return payload."""
+        for outcome in ("loaded", "reloaded", "kept", "dropped", "failed"):
+            count = len(summary.get(outcome, ()))
+            if count:
+                self.metrics.inc(
+                    "repro_reload_total", {"outcome": outcome}, by=count
+                )
+        self.events.emit(
+            "registry.reload",
+            **{
+                outcome: summary.get(outcome, [])
+                for outcome in (
+                    "loaded", "reloaded", "kept", "dropped", "failed",
+                )
+            },
         )
 
     async def _op_shutdown(self, request, _reader, writer) -> None:
@@ -587,6 +737,8 @@ def serve_forever(
     max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
     max_pending: int = DEFAULT_MAX_PENDING,
     stats: bool = False,
+    metrics: bool = False,
+    log_json: bool = False,
 ) -> int:
     """Run a transformation server until SIGINT/SIGTERM; returns 0.
 
@@ -595,6 +747,14 @@ def serve_forever(
     (port ``0`` picks a free one), and serves until interrupted.  The
     startup banner — ``listening on HOST:PORT`` — and the optional final
     statistics go to stderr; stdout is never written.
+
+    ``metrics=True`` (CLI ``--metrics``) additionally prints the final
+    Prometheus text exposition to stderr on shutdown; a *live* scrape
+    is always available through the ``metrics`` protocol verb
+    (``ServerClient.metrics()`` / ``metrics_text()``).  ``log_json=True``
+    (CLI ``--log-json``) streams structured one-line JSON events —
+    startup, reload outcomes, shard crashes/restarts/quarantines,
+    shutdown — to stderr.
     """
     registry = ModelRegistry(models_dir, jobs=jobs)
     server = TransformServer(
@@ -604,6 +764,7 @@ def serve_forever(
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
         max_pending=max_pending,
+        events=EventLog(stream=sys.stderr, enabled=log_json),
     )
 
     async def _run() -> None:
@@ -631,6 +792,8 @@ def serve_forever(
         pass
     if stats:
         _print_stats(server)
+    if metrics:
+        print(server.metrics.render_prometheus(), file=sys.stderr, flush=True)
     print("repro server stopped", file=sys.stderr, flush=True)
     return 0
 

@@ -34,11 +34,13 @@ differential server tests.
 from __future__ import annotations
 
 import asyncio
+import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import OverloadedError, ServiceError
+from repro.server.metrics import ServerMetrics
 from repro.server.registry import ModelEntry
 
 #: Default documents per coalesced batch.
@@ -68,6 +70,8 @@ class MicroBatcher:
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         max_pending: int = DEFAULT_MAX_PENDING,
         executor: Optional[ThreadPoolExecutor] = None,
+        metrics: Optional[ServerMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_batch < 1:
             raise ServiceError("max_batch must be at least 1")
@@ -76,14 +80,22 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.max_pending = max_pending
+        #: Latency histograms + counters; a fresh registry when the
+        #: caller (the server) did not share one — recording is always
+        #: on, it is too cheap to gate.
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._clock = clock
         self._executor = executor or ThreadPoolExecutor(
             max_workers=8, thread_name_prefix="repro-batch"
         )
         self._own_executor = executor is None
-        #: Pending (document, future) pairs per live entry (by identity:
-        #: a hot reload replaces the entry object, so an old entry's
-        #: pending batch drains on the machine it was admitted to).
-        self._pending: Dict[ModelEntry, List[Tuple[object, asyncio.Future]]] = {}
+        #: Pending (document, future, admitted-at) triples per live
+        #: entry (by identity: a hot reload replaces the entry object,
+        #: so an old entry's pending batch drains on the machine it was
+        #: admitted to).
+        self._pending: Dict[
+            ModelEntry, List[Tuple[object, asyncio.Future, float]]
+        ] = {}
         self._timers: Dict[ModelEntry, asyncio.TimerHandle] = {}
         self._locks: "weakref.WeakKeyDictionary[ModelEntry, asyncio.Lock]" = (
             weakref.WeakKeyDictionary()
@@ -129,7 +141,13 @@ class MicroBatcher:
         if self._closed:
             raise ServiceError("batcher is closed")
         if self._admitted >= self.max_pending:
+            # Refused at admission: counted as an overload, *never*
+            # recorded in the queue-wait histogram — the request waited
+            # in no queue (the overload regression tests pin this).
             self._stats["overloads"] += 1
+            self.metrics.inc(
+                "repro_overloads_total", {"model": entry.key}
+            )
             raise OverloadedError(
                 f"server overloaded: {self._admitted} requests pending "
                 f"(bound {self.max_pending}); retry later"
@@ -141,7 +159,7 @@ class MicroBatcher:
         entry.acquire()
         try:
             queue = self._pending.setdefault(entry, [])
-            queue.append((document, future))
+            queue.append((document, future, self._clock()))
             if len(queue) >= self.max_batch:
                 self._flush(entry)
             elif len(queue) == 1:
@@ -164,7 +182,7 @@ class MicroBatcher:
         batches = list(self._pending.values())
         self._pending.clear()
         for batch in batches:
-            for _document, future in batch:
+            for _document, future, _admitted_at in batch:
                 if not future.done():
                     future.set_result(ServiceError("server shutting down"))
         if self._own_executor:
@@ -173,20 +191,33 @@ class MicroBatcher:
     # -- batching internals ---------------------------------------------
 
     def _flush(self, entry: ModelEntry) -> None:
-        """Detach the entry's pending batch and dispatch it."""
+        """Detach the entry's pending batch and dispatch it.
+
+        This is the batch-close timing hook: assembly time — first
+        admission to close — is recorded here, per batch.
+        """
         timer = self._timers.pop(entry, None)
         if timer is not None:
             timer.cancel()
         batch = self._pending.pop(entry, None)
         if not batch:
             return
+        labels = {"model": entry.key}
+        self.metrics.observe(
+            "repro_batch_assembly_seconds",
+            labels,
+            max(0.0, self._clock() - batch[0][2]),
+        )
+        self.metrics.observe("repro_batch_documents", labels, len(batch))
         asyncio.ensure_future(self._dispatch(entry, batch))
 
     async def _dispatch(
-        self, entry: ModelEntry, batch: List[Tuple[object, asyncio.Future]]
+        self,
+        entry: ModelEntry,
+        batch: List[Tuple[object, asyncio.Future, float]],
     ) -> None:
         """Translate one batch in the executor; resolve its futures."""
-        documents = [document for document, _future in batch]
+        documents = [document for document, _future, _admitted_at in batch]
         self._stats["batches"] += 1
         self._stats["documents"] += len(batch)
         if len(batch) > 1:
@@ -198,8 +229,17 @@ class MicroBatcher:
         if lock is None:
             lock = self._locks[entry] = asyncio.Lock()
         loop = asyncio.get_running_loop()
+        labels = {"model": entry.key}
+        dispatch_started = self._clock()
         try:
             async with lock:
+                dispatch_started = self._clock()
+                for _document, _future, admitted_at in batch:
+                    self.metrics.observe(
+                        "repro_queue_wait_seconds",
+                        labels,
+                        max(0.0, dispatch_started - admitted_at),
+                    )
                 outcomes = await loop.run_in_executor(
                     self._executor, entry.run_batch, documents
                 )
@@ -210,9 +250,14 @@ class MicroBatcher:
                     f"batch dispatch failed: {type(error).__name__}: {error}"
                 )
             outcomes = [error] * len(batch)
+        self.metrics.observe(
+            "repro_dispatch_seconds",
+            labels,
+            max(0.0, self._clock() - dispatch_started),
+        )
         self._stats["errors"] += sum(
             1 for outcome in outcomes if isinstance(outcome, Exception)
         )
-        for (_document, future), outcome in zip(batch, outcomes):
+        for (_document, future, _admitted_at), outcome in zip(batch, outcomes):
             if not future.done():
                 future.set_result(outcome)

@@ -175,6 +175,14 @@ class ServerClient:
     def models(self) -> List[Dict]:
         return self._request({"op": "models"})["models"]
 
+    def metrics(self) -> Dict:
+        """The structured metrics snapshot: counters, gauges, histograms."""
+        return self._request({"op": "metrics"})["metrics"]
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the server's metrics."""
+        return self._request({"op": "metrics"})["text"]
+
     def reload(self) -> Dict[str, List[str]]:
         return self._request({"op": "reload"})["reload"]
 

@@ -1,0 +1,65 @@
+"""Structured JSON event logging for the transformation server.
+
+One :class:`EventLog` per server; every operational event — startup,
+shutdown, registry reloads (with per-model outcomes), shard crashes,
+supervised restarts, quarantines — is one JSON object on one line:
+
+    {"event": "shard.restart", "model": "audit@1", "attempts": 2,
+     "ts": 1723111042.113512}
+
+Lines go to the configured stream (stderr for ``repro server
+--log-json``) so they interleave cleanly with the banner; nothing is
+ever written to stdout.  A disabled log with no sinks short-circuits to
+a no-op, so the hooks cost nothing when the operator did not opt in.
+Tests attach list sinks via :meth:`EventLog.add_sink` and assert on the
+decoded records instead of scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, TextIO
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Emit structured one-line JSON events to a stream and/or sinks."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.time,
+    ):
+        self._stream = stream
+        self._enabled = enabled
+        self._clock = clock
+        self._sinks: List[Callable[[Dict], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled and (
+            self._stream is not None or bool(self._sinks)
+        )
+
+    def add_sink(self, sink: Callable[[Dict], None]) -> "EventLog":
+        """Register a callable receiving every event record (tests)."""
+        self._sinks.append(sink)
+        return self
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Record one event; a disabled, sink-less log is a no-op."""
+        if not self._enabled or (self._stream is None and not self._sinks):
+            return
+        record: Dict[str, object] = {"event": event, **fields}
+        record["ts"] = round(self._clock(), 6)
+        for sink in self._sinks:
+            sink(dict(record))
+        if self._stream is not None:
+            line = json.dumps(
+                record, sort_keys=True, ensure_ascii=False, default=str
+            )
+            self._stream.write(line + "\n")
+            self._stream.flush()

@@ -26,7 +26,12 @@ Hot reload (:meth:`ModelRegistry.reload`) rescans the directory:
   its worker pool is shut down.  Retirement is deferred while requests
   (or open streams) still hold the entry — in-flight work finishes on
   the model version it started with; every *new* request resolves to
-  the new entry.
+  the new entry;
+* **failed** — a corrupt or half-written file is isolated: the model's
+  live entry (if any) keeps serving its old version, every other file's
+  change still commits, and the failure is reported per model in the
+  reload summary (and, through the server, in metrics and the
+  structured log).
 
 Entries are reference-counted (:meth:`ModelEntry.acquire` /
 :meth:`ModelEntry.release`) by the batcher and the stream handlers; the
@@ -118,6 +123,7 @@ class ModelEntry:
         self._refs = 0
         self._retired = False
         self._closed = False
+        self._quarantined = False
 
     @property
     def key(self) -> str:
@@ -162,9 +168,52 @@ class ModelEntry:
 
     # -- serving --------------------------------------------------------
 
+    # -- supervision ----------------------------------------------------
+
+    @property
+    def quarantined(self) -> bool:
+        return self._quarantined
+
+    def set_quarantined(self, quarantined: bool) -> None:
+        """Quarantine (or restore) the entry's sharded worker pool.
+
+        A quarantined entry keeps serving — :meth:`run_batch` degrades
+        to the in-process engine, trading the shard's capacity for not
+        feeding a flapping pool — and its service is torn down so no
+        worker processes linger.  Restoring simply clears the flag; the
+        next dispatch (or a supervised :meth:`restart_service`) builds
+        a fresh pool.
+        """
+        if quarantined == self._quarantined:
+            return
+        self._quarantined = quarantined
+        if quarantined and self._service is not None:
+            self._service.close()
+            self._service = None
+
+    def peek_service(self):
+        """The live service if one exists — never creates one."""
+        return self._service
+
+    def restart_service(self) -> bool:
+        """Supervised pool restart: replace a broken pool, prestarted.
+
+        Returns ``True`` when a sharded pool is live (and warm) after
+        the call; ``False`` for in-process, closed, or quarantined
+        entries (nothing to restart).
+        """
+        if self._closed or self._quarantined or self.jobs <= 1:
+            return False
+        service = self.service()
+        return service is not None and service.restart()
+
     def service(self):
-        """The entry's sharded :class:`TransformService` (``jobs > 1``)."""
-        if self.jobs <= 1:
+        """The entry's sharded :class:`TransformService` (``jobs > 1``).
+
+        Quarantined entries answer ``None`` — callers fall back to the
+        in-process engine exactly as for an unsharded entry.
+        """
+        if self.jobs <= 1 or self._quarantined:
             return None
         if self._closed:
             # Never resurrect a pool on a torn-down entry: close() has
@@ -229,6 +278,8 @@ class ModelEntry:
             "rules": len(self.machine.rules),
             "requests": self.requests,
         }
+        if self._quarantined:
+            info["quarantined"] = True
         if self._service is not None:
             info["service"] = self._service.stats
         return info
@@ -294,6 +345,7 @@ class ModelRegistry:
             "loads": 0,
             "reloads": 0,
             "drops": 0,
+            "failed_loads": 0,
             "lookups": 0,
             "misses": 0,
         }
@@ -302,7 +354,16 @@ class ModelRegistry:
             raise RegistryError(
                 f"model directory {self.models_dir} does not exist"
             )
-        self.reload()
+        # Boot is strict: a registry must not come up half-loaded (a
+        # *reload* of a running registry isolates per-file failures
+        # instead — see reload()).
+        summary = self.reload()
+        if summary["failed"]:
+            self.close()
+            raise RegistryError(
+                "cannot load model directory "
+                f"{self.models_dir}: {'; '.join(summary['failed'])}"
+            )
 
     # -- loading --------------------------------------------------------
 
@@ -312,6 +373,17 @@ class ModelRegistry:
         Unchanged files keep their live entries (and pools).  Changed
         and removed files retire the old entry — deferred teardown, see
         the module docstring — and changed files load a fresh one.
+
+        Failures are isolated **per file**: a half-written or corrupt
+        artifact never retires the entry that is still serving (the old
+        version keeps answering requests, and a later reload retries
+        the file), never blocks other files' changes from committing,
+        and is reported under ``summary["failed"]`` as
+        ``"key: reason"`` lines — the server records these in metrics
+        (``repro_reload_total{outcome="failed"}``) and the structured
+        log.  Only registry-level corruption (an unreadable directory,
+        two files claiming one ``name@version``) aborts the whole
+        reload with the live table untouched.
         """
         if self._closed:
             raise RegistryError("registry is closed")
@@ -320,10 +392,10 @@ class ModelRegistry:
             "reloaded": [],
             "kept": [],
             "dropped": [],
+            "failed": [],
         }
-        # Two-phase: load everything first (any failure leaves the live
-        # table untouched — a half-written or corrupt file must not
-        # retire entries that are still serving), then commit + retire.
+        # Two-phase: load everything first, then commit + retire — a
+        # failure mid-scan must not leave a half-committed table.
         seen: Dict[str, ModelEntry] = {}
         to_retire: List[ModelEntry] = []
         for path in sorted(self.models_dir.glob("*.json"), key=lambda p: p.name):
@@ -343,7 +415,15 @@ class ModelRegistry:
                 seen[key] = old
                 summary["kept"].append(key)
                 continue
-            seen[key] = _load_entry(path, self.jobs)
+            try:
+                seen[key] = _load_entry(path, self.jobs)
+            except RegistryError as error:
+                summary["failed"].append(f"{key}: {error}")
+                if old is not None:
+                    # Keep serving the version that was live; the stale
+                    # fingerprint makes the next reload retry the file.
+                    seen[key] = old
+                continue
             if old is None:
                 summary["loaded"].append(key)
             else:
@@ -357,6 +437,7 @@ class ModelRegistry:
         self._stats["loads"] += len(summary["loaded"])
         self._stats["reloads"] += len(summary["reloaded"])
         self._stats["drops"] += len(summary["dropped"])
+        self._stats["failed_loads"] += len(summary["failed"])
         for old in to_retire:
             old.retire()
         return summary

@@ -1,0 +1,328 @@
+"""The shard supervisor: expected-state reconciliation for worker pools.
+
+PR 4's :class:`~repro.serve.service.TransformService` already survives a
+worker crash — each in-flight chunk is retried once on a fresh pool and
+a twice-dead chunk resolves to per-document ``ServiceError`` — but that
+is *reactive* healing with no memory: every crash pays a cold pool on
+the request path, nothing counts, and a model whose artifact keeps
+killing workers will happily fork pools forever.
+
+:class:`ShardSupervisor` is the periodic monitor on top.  Every
+``interval`` seconds it reconciles each sharded model entry against its
+expected state:
+
+* **crash detection** — per-entry crash counters from the service's
+  stats (plus the executor's own broken flag, so a worker killed while
+  the pool is *idle* is noticed before any request pays for it) feed
+  ``repro_worker_crashes_total`` and a ``shard.crash`` log event;
+* **restart with exponential backoff** — a crashed shard is restarted
+  (pool discarded, fresh one prestarted off the request path) after
+  ``backoff_base × 2^(attempts-1)`` seconds, capped at ``backoff_cap``;
+  consecutive crashes push the delay out, a quiet ``flap_window``
+  resets it;
+* **quarantine** — ``flap_threshold`` crashes inside ``flap_window``
+  quarantine the shard: its pool is torn down and the entry degrades to
+  the in-process engine (capacity shrinks, serving continues, ``health``
+  reports ``"degraded"``).  After ``quarantine_seconds`` of probation
+  the supervisor restores the shard with a fresh pool.
+
+The state machine per shard::
+
+        ┌─────────┐ crash seen  ┌─────────┐ backoff elapsed
+        │ healthy │────────────▶│ backoff │──────────────▶ restart
+        └─────────┘             └─────────┘                (→ healthy)
+             ▲                       │
+             │ probation over        │ ≥ flap_threshold crashes
+             │ (fresh pool)          ▼ in flap_window
+             │               ┌─────────────┐
+             └───────────────│ quarantined │  (in-process serving)
+                             └─────────────┘
+
+Everything the supervisor does is observable: counters and the
+``repro_shard_state`` gauge (0 healthy / 1 backoff / 2 quarantined) in
+:class:`~repro.server.metrics.ServerMetrics`, and structured events
+(``shard.crash`` / ``shard.backoff`` / ``shard.restart`` /
+``shard.quarantine`` / ``shard.restore``) through the
+:class:`~repro.server.logging.EventLog`.
+
+The ``clock`` is injectable and :meth:`tick` is a plain synchronous
+method, so the fault-injection tests drive the whole state machine
+deterministically with a manual clock; the server runs :meth:`run` as a
+background asyncio task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.server.logging import EventLog
+from repro.server.metrics import ServerMetrics
+
+__all__ = ["ShardSupervisor", "HEALTHY", "BACKOFF", "QUARANTINED"]
+
+HEALTHY = "healthy"
+BACKOFF = "backoff"
+QUARANTINED = "quarantined"
+
+_STATE_GAUGE = {HEALTHY: 0, BACKOFF: 1, QUARANTINED: 2}
+
+
+class _ShardState:
+    """Supervisor bookkeeping for one sharded model entry."""
+
+    __slots__ = (
+        "state",
+        "service",
+        "last_crashes",
+        "crashes_seen",
+        "attempts",
+        "restarts",
+        "crash_times",
+        "next_restart_at",
+        "quarantined_at",
+    )
+
+    def __init__(self) -> None:
+        self.state = HEALTHY
+        self.service = None  # the service object the baseline belongs to
+        self.last_crashes = 0
+        self.crashes_seen = 0
+        self.attempts = 0
+        self.restarts = 0
+        self.crash_times: List[float] = []
+        self.next_restart_at = 0.0
+        self.quarantined_at = 0.0
+
+
+class ShardSupervisor:
+    """Monitor, restart, and quarantine the registry's sharded entries."""
+
+    def __init__(
+        self,
+        registry,
+        metrics: ServerMetrics,
+        events: Optional[EventLog] = None,
+        interval: float = 1.0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        flap_threshold: int = 3,
+        flap_window: float = 30.0,
+        quarantine_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.registry = registry
+        self.metrics = metrics
+        self.events = events or EventLog(enabled=False)
+        self.interval = interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.flap_threshold = max(1, flap_threshold)
+        self.flap_window = flap_window
+        self.quarantine_seconds = quarantine_seconds
+        self._clock = clock
+        self._states: Dict[str, _ShardState] = {}
+        self._ticks = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard is currently serving in quarantine."""
+        return any(
+            state.state == QUARANTINED for state in self._states.values()
+        )
+
+    def describe(self) -> Dict[str, Dict[str, object]]:
+        return {
+            key: {
+                "state": state.state,
+                "crashes": state.crashes_seen,
+                "restarts": state.restarts,
+                "attempts": state.attempts,
+            }
+            for key, state in sorted(self._states.items())
+        }
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {"ticks": self._ticks, "shards": self.describe()}
+
+    # -- the reconciliation pass ----------------------------------------
+
+    def tick(self) -> None:
+        """One reconciliation pass over every sharded entry."""
+        self._ticks += 1
+        now = self._clock()
+        live_keys = set()
+        for entry in self.registry.entries():
+            if entry.jobs <= 1:
+                continue
+            live_keys.add(entry.key)
+            state = self._states.get(entry.key)
+            if state is None:
+                state = self._states[entry.key] = _ShardState()
+                self.metrics.set_gauge(
+                    "repro_shard_state", {"model": entry.key}, 0
+                )
+            self._reconcile(entry, state, now)
+        for key in list(self._states):
+            if key not in live_keys:  # dropped by a reload
+                del self._states[key]
+
+    def _reconcile(self, entry, state: _ShardState, now: float) -> None:
+        service = entry.peek_service()
+        if service is not state.service:
+            # A fresh service (first dispatch, restart, restore) starts
+            # its crash counter at zero; rebase without losing history.
+            state.service = service
+            state.last_crashes = 0
+        crashes = (
+            service.stats["crashes"] if service is not None else 0
+        )
+        delta = crashes - state.last_crashes
+        state.last_crashes = crashes
+        if (
+            delta == 0
+            and state.state == HEALTHY
+            and service is not None
+            and service.pool_broken()
+        ):
+            # A worker died while the pool sat idle: no dispatch has
+            # discovered it yet, so the stats counter has not moved.
+            delta = 1
+        if delta > 0:
+            self._on_crashes(entry, state, delta, now)
+        if state.state == BACKOFF and now >= state.next_restart_at:
+            self._restart(entry, state, now)
+        elif (
+            state.state == QUARANTINED
+            and now - state.quarantined_at >= self.quarantine_seconds
+        ):
+            self._restore(entry, state, now)
+        elif state.state == HEALTHY and state.attempts:
+            self._prune(state, now)
+            if not state.crash_times:
+                state.attempts = 0  # a quiet window resets the backoff
+
+    def _rebase(self, state: _ShardState, entry) -> None:
+        """Re-anchor crash accounting on the entry's current service.
+
+        A restart may *reuse* the service object (its cumulative crash
+        counter survives the pool swap), so the baseline must be the
+        counter's current value — rebasing to zero would re-count every
+        historical crash as a fresh one on the next tick.
+        """
+        state.service = entry.peek_service()
+        state.last_crashes = (
+            state.service.stats["crashes"]
+            if state.service is not None
+            else 0
+        )
+
+    def _prune(self, state: _ShardState, now: float) -> None:
+        state.crash_times = [
+            stamp
+            for stamp in state.crash_times
+            if now - stamp < self.flap_window
+        ]
+
+    def _on_crashes(
+        self, entry, state: _ShardState, delta: int, now: float
+    ) -> None:
+        state.crashes_seen += delta
+        self.metrics.inc(
+            "repro_worker_crashes_total", {"model": entry.key}, by=delta
+        )
+        self.events.emit(
+            "shard.crash",
+            model=entry.key,
+            crashes=delta,
+            total=state.crashes_seen,
+        )
+        state.crash_times.extend([now] * delta)
+        self._prune(state, now)
+        if state.state == QUARANTINED:
+            return  # already isolated; probation keeps running
+        if len(state.crash_times) >= self.flap_threshold:
+            self._quarantine(entry, state, now)
+            return
+        state.attempts += 1
+        delay = min(
+            self.backoff_cap, self.backoff_base * 2 ** (state.attempts - 1)
+        )
+        state.next_restart_at = now + delay
+        state.state = BACKOFF
+        self.metrics.set_gauge(
+            "repro_shard_state", {"model": entry.key}, _STATE_GAUGE[BACKOFF]
+        )
+        self.events.emit(
+            "shard.backoff",
+            model=entry.key,
+            attempts=state.attempts,
+            delay_s=delay,
+        )
+
+    def _restart(self, entry, state: _ShardState, now: float) -> None:
+        restarted = entry.restart_service()
+        self._rebase(state, entry)
+        state.state = HEALTHY
+        state.restarts += 1
+        self.metrics.inc("repro_shard_restarts_total", {"model": entry.key})
+        self.metrics.set_gauge(
+            "repro_shard_state", {"model": entry.key}, _STATE_GAUGE[HEALTHY]
+        )
+        self.events.emit(
+            "shard.restart",
+            model=entry.key,
+            attempts=state.attempts,
+            restarted=restarted,
+        )
+
+    def _quarantine(self, entry, state: _ShardState, now: float) -> None:
+        entry.set_quarantined(True)
+        state.service = None
+        state.last_crashes = 0
+        state.state = QUARANTINED
+        state.quarantined_at = now
+        self.metrics.inc("repro_quarantines_total", {"model": entry.key})
+        self.metrics.set_gauge(
+            "repro_shard_state",
+            {"model": entry.key},
+            _STATE_GAUGE[QUARANTINED],
+        )
+        self.events.emit(
+            "shard.quarantine",
+            model=entry.key,
+            crashes=state.crashes_seen,
+            probation_s=self.quarantine_seconds,
+        )
+
+    def _restore(self, entry, state: _ShardState, now: float) -> None:
+        entry.set_quarantined(False)
+        entry.restart_service()
+        self._rebase(state, entry)
+        state.state = HEALTHY
+        state.restarts += 1
+        state.attempts = 0
+        state.crash_times = []
+        self.metrics.inc("repro_shard_restarts_total", {"model": entry.key})
+        self.metrics.set_gauge(
+            "repro_shard_state", {"model": entry.key}, _STATE_GAUGE[HEALTHY]
+        )
+        self.events.emit("shard.restore", model=entry.key)
+
+    # -- the background loop --------------------------------------------
+
+    async def run(self) -> None:
+        """Tick forever (until cancelled); a failing tick never exits."""
+        while True:
+            try:
+                self.tick()
+            except Exception as error:  # pragma: no cover - defensive
+                self.events.emit(
+                    "supervisor.error",
+                    error=f"{type(error).__name__}: {error}",
+                )
+            await asyncio.sleep(self.interval)

@@ -1,0 +1,195 @@
+"""Reusable fault-injection toolkit for the server test suite.
+
+Everything the observability and supervision tests need to break a
+server deterministically:
+
+* :class:`ManualClock` — an injectable clock for driving the
+  supervisor's state machine (backoff, flap windows, quarantine
+  probation) without sleeping;
+* :func:`poison_label` — arm the worker-side crash hook
+  (``REPRO_SERVE_CRASH_LABEL``): any worker translating a document
+  whose root carries the label hard-exits with ``os._exit(3)``, the
+  closest controllable stand-in for a segfault.  The environment
+  variable is inherited by every pool the parent forks, so restarted
+  pools stay armed until the context exits;
+* :func:`worker_pids` / :func:`kill_one_worker` — reach into a live
+  :class:`~repro.serve.service.TransformService`'s process pool and
+  ``SIGKILL`` a real worker (the blunt, non-deterministic complement
+  to the crash label);
+* :func:`wait_until` — poll a predicate with a deadline, for the
+  integration tests that must wait on the supervisor's asynchronous
+  reactions;
+* ``Fake*`` doubles — a registry/entry/service triple with scriptable
+  crash counters and broken flags, so the supervisor unit tests cover
+  every transition of the state machine synchronously.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+from repro.serve.shard import CRASH_LABEL_ENV
+
+#: A document whose root label matches :func:`poison_label`'s default.
+POISON_LABEL = "poison"
+POISON_DOCUMENT = POISON_LABEL
+
+
+class ManualClock:
+    """A callable monotonic clock the tests advance by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    timeout: float = 15.0,
+    interval: float = 0.01,
+    message: str = "condition not reached",
+) -> None:
+    """Poll ``predicate`` until true; raise ``AssertionError`` on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"{message} within {timeout}s")
+
+
+@contextmanager
+def poison_label(label: str = POISON_LABEL):
+    """Arm the worker crash hook for the duration of the block.
+
+    Must be entered *before* the worker pool under test forks (pools
+    are lazy — created on first dispatch — so entering before the first
+    poisoned request is enough, and every supervised restart forks a
+    pool that is armed too).
+    """
+    previous = os.environ.get(CRASH_LABEL_ENV)
+    os.environ[CRASH_LABEL_ENV] = label
+    try:
+        yield label
+    finally:
+        if previous is None:
+            os.environ.pop(CRASH_LABEL_ENV, None)
+        else:
+            os.environ[CRASH_LABEL_ENV] = previous
+
+
+def worker_pids(service) -> List[int]:
+    """The pids of a live service's pool workers (empty when no pool)."""
+    executor = getattr(service, "_executor", None)
+    if executor is None:
+        return []
+    processes = getattr(executor, "_processes", None) or {}
+    return [pid for pid, proc in processes.items() if proc.is_alive()]
+
+
+def kill_one_worker(service) -> Optional[int]:
+    """``SIGKILL`` one live worker of the service's pool; returns its pid."""
+    for pid in worker_pids(service):
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):  # pragma: no cover
+            continue
+        return pid
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Scriptable doubles for the supervisor unit tests
+# ---------------------------------------------------------------------------
+
+
+class FakeService:
+    """A service double with a scriptable crash counter and broken flag."""
+
+    def __init__(self):
+        self.crashes = 0
+        self.broken = False
+        self.restarts = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"crashes": self.crashes}
+
+    def pool_broken(self) -> bool:
+        return self.broken
+
+    def restart(self) -> bool:
+        self.restarts += 1
+        self.broken = False
+        return True
+
+    def close(self) -> None:
+        self.broken = False
+
+
+class FakeEntry:
+    """A sharded model-entry double the supervisor can drive."""
+
+    def __init__(self, key: str = "fake@1", jobs: int = 2):
+        self.name, _, self.version = key.partition("@")
+        self.jobs = jobs
+        self._service = FakeService()
+        self._quarantined = False
+        self.restart_calls = 0
+        self.quarantine_calls: List[bool] = []
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    @property
+    def quarantined(self) -> bool:
+        return self._quarantined
+
+    def peek_service(self):
+        return self._service
+
+    def set_quarantined(self, quarantined: bool) -> None:
+        self.quarantine_calls.append(quarantined)
+        self._quarantined = quarantined
+        if quarantined:
+            self._service = None
+
+    def restart_service(self) -> bool:
+        self.restart_calls += 1
+        if self._quarantined:
+            return False
+        if self._service is None:
+            self._service = FakeService()
+        return self._service.restart()
+
+    def crash(self, count: int = 1) -> None:
+        """Script ``count`` worker crashes into the service's stats."""
+        self._service.crashes += count
+
+    def break_pool(self) -> None:
+        """Script an idle pool break (no stats movement)."""
+        self._service.broken = True
+
+
+class FakeRegistry:
+    """Just enough registry for :meth:`ShardSupervisor.tick`."""
+
+    def __init__(self, *entries: FakeEntry):
+        self._entries = list(entries)
+
+    def entries(self):
+        return list(self._entries)
+
+    def drop(self, entry: FakeEntry) -> None:
+        self._entries.remove(entry)

@@ -265,6 +265,45 @@ class TestHotReload:
         thread.join(timeout=60)
         assert outcomes_box["outcomes"] == reference
 
+    def test_reload_failure_is_isolated_counted_and_logged(
+        self, models_dir, flip_identity
+    ):
+        from repro.server import EventLog
+
+        events = []
+        log = EventLog(enabled=True).add_sink(events.append)
+        with ServerThread(models_dir, max_wait_ms=2.0, events=log) as handle:
+            with ServerClient(handle.host, handle.port) as client:
+                document = flip_input(2, 1)
+                # Corrupt one model mid-write, change the other validly.
+                time.sleep(0.01)
+                (models_dir / "xmlflip@1.json").write_text("{garbage")
+                api.save(flip_identity, str(models_dir / "flip@1.json"))
+                summary = client.reload()
+                assert summary["reloaded"] == ["flip@1"]
+                assert len(summary["failed"]) == 1
+                assert summary["failed"][0].startswith("xmlflip@1: ")
+                # The valid change committed; the corrupt model still
+                # serves its old version.
+                assert client.transform("flip", str(document)) == str(
+                    document
+                )
+                assert client.transform_stream(
+                    "xmlflip", "<batch></batch>"
+                ) == []
+                metrics = handle.server.metrics
+                assert metrics.counter_value(
+                    "repro_reload_total", {"outcome": "reloaded"}
+                ) == 1
+                assert metrics.counter_value(
+                    "repro_reload_total", {"outcome": "failed"}
+                ) == 1
+                (reload_event,) = [
+                    e for e in events if e["event"] == "registry.reload"
+                ]
+                assert reload_event["reloaded"] == ["flip@1"]
+                assert reload_event["failed"][0].startswith("xmlflip@1: ")
+
 
 class TestShutdown:
     def test_shutdown_op_stops_the_server(self, models_dir):

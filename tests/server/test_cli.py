@@ -23,6 +23,7 @@ from repro.xml.schema import schema_dtta
 from repro.xml.xmlio import parse_xml, serialize_xml
 
 from tests.server.conftest import identity_dtop
+from tests.server.faults import wait_until
 
 
 @pytest.fixture
@@ -251,3 +252,65 @@ class TestServerCommand:
         assert "stats: server:" in text
         assert "stats: batcher:" in text
         assert "repro server stopped" in text
+
+    def test_worker_crash_does_not_stop_a_signal_handling_server(
+        self, models_source
+    ):
+        """A worker killed under a real `repro server` process must not
+        take the server down.
+
+        The CLI path installs asyncio signal handlers, which register a
+        wakeup-fd self-pipe that fork-started pool workers inherit.  A
+        signal aimed at a worker (the executor terminates survivors
+        while cleaning up a broken pool) would be replayed into the
+        parent's event loop as the parent's own SIGTERM — a graceful
+        stop of a healthy server.  `init_worker` resets the inherited
+        plumbing; this boots the real process, crashes a worker, and
+        requires the server to answer afterwards."""
+        src_dir = Path(repro.__file__).parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env["REPRO_SERVE_CRASH_LABEL"] = "poison"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "server",
+                "--models", str(models_source),
+                "--port", "0",
+                "--jobs", "2",
+                "--max-wait-ms", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            banner = process.stderr.readline().decode()
+            assert "listening on" in banner, banner
+            port = int(banner.split("listening on ")[1].split()[0].split(":")[1])
+            with ServerClient("127.0.0.1", port) as client:
+                outcome = client.try_transform("flip", "poison(a(#, #), #)")
+                from repro.errors import ReproError
+
+                assert isinstance(outcome, ReproError)
+                # The healthy server must still be answering; before the
+                # worker-side signal reset this connection found a
+                # gracefully stopped server instead.
+                assert client.health()["status"] in ("serving", "degraded")
+                wait_until(
+                    lambda: client.try_transform(
+                        "flip", "root(a(#, #), #)"
+                    )
+                    == "root(#, a(#, #))",
+                    timeout=30.0,
+                    message="server never served again after the crash",
+                )
+            process.send_signal(signal.SIGTERM)
+            _, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert "repro server stopped" in stderr.decode()

@@ -176,25 +176,66 @@ class TestLifecycle:
         assert service._closed
 
 
-class TestReloadAtomicity:
-    def test_failed_reload_leaves_the_live_table_untouched(
+class TestReloadIsolation:
+    def test_corrupt_file_is_isolated_and_other_changes_commit(
+        self, models_dir, flip_identity
+    ):
+        with ModelRegistry(models_dir) as registry:
+            old_xml = registry.get("xmlflip@1")
+            # One changed-and-valid file, one corrupt file: the valid
+            # change commits, the corrupt model keeps its live entry.
+            time.sleep(0.01)
+            api.save(flip_identity, str(models_dir / "flip@1.json"))
+            (models_dir / "xmlflip@1.json").write_text("{mid-write garbage")
+            summary = registry.reload()
+            assert summary["reloaded"] == ["flip@1"]
+            assert len(summary["failed"]) == 1
+            assert summary["failed"][0].startswith("xmlflip@1: ")
+            assert registry.stats["failed_loads"] == 1
+            # The corrupt model's old entry still serves, unretired.
+            assert registry.get("xmlflip@1") is old_xml
+            assert not old_xml.retired
+            # The valid change went through: flip is now the identity.
+            document = flip_input(1, 0)
+            new_flip = registry.get("flip@1")
+            assert str(new_flip.run_batch([document])[0]) == str(document)
+            assert registry.keys() == ["flip@1", "xmlflip@1"]
+
+    def test_failed_file_is_retried_on_the_next_reload(
         self, models_dir, flip_identity
     ):
         with ModelRegistry(models_dir) as registry:
             old = registry.get("flip@1")
-            # One changed-but-valid file, one corrupt file: the reload
-            # must fail without retiring anything.
+            time.sleep(0.01)
+            (models_dir / "flip@1.json").write_text("{half a write")
+            summary = registry.reload()
+            assert len(summary["failed"]) == 1
+            assert registry.get("flip@1") is old
+            # The writer finishes; the kept-stale fingerprint makes the
+            # next reload pick the file up without another touch.
             time.sleep(0.01)
             api.save(flip_identity, str(models_dir / "flip@1.json"))
-            (models_dir / "xmlflip@1.json").write_text("{mid-write garbage")
-            with pytest.raises(RegistryError):
+            summary = registry.reload()
+            assert summary["reloaded"] == ["flip@1"]
+            assert summary["failed"] == []
+            assert registry.get("flip@1") is not old
+
+    def test_strict_boot_still_rejects_a_corrupt_directory(self, tmp_path):
+        api.save(flip_transducer(), str(tmp_path / "flip@1.json"))
+        (tmp_path / "broken@1.json").write_text("{not json")
+        with pytest.raises(RegistryError) as caught:
+            ModelRegistry(tmp_path)
+        assert "broken@1" in str(caught.value)
+
+    def test_duplicate_keys_still_abort_the_whole_reload(self, models_dir):
+        with ModelRegistry(models_dir) as registry:
+            before = registry.keys()
+            (models_dir / "flip.json").write_text(
+                (models_dir / "flip@1.json").read_text()
+            )
+            with pytest.raises(RegistryError, match="duplicate"):
                 registry.reload()
-            assert registry.get("flip@1") is old
-            assert not old.retired
-            # Still serving the machine it had before the bad reload.
-            flipped = old.run_batch([flip_input(1, 0)])[0]
-            assert str(flipped) == "root(#, a(#, #))"
-            assert registry.keys() == ["flip@1", "xmlflip@1"]
+            assert registry.keys() == before
 
     def test_closed_entry_never_resurrects_a_pool(self, models_dir):
         registry = ModelRegistry(models_dir, jobs=2)
