@@ -46,8 +46,10 @@ from repro import serialize as _serialize
 from repro.automata.build import local_dtta_from_trees
 from repro.automata.dtta import DTTA
 from repro.engine import (
+    backend_stats,
     clear_sample_table_caches,
     engine_for,
+    reset_backend_stats,
     sample_tables_stats,
 )
 from repro.errors import UndefinedTransductionError
@@ -137,7 +139,11 @@ def learn(
     return rpni_dtop(sample, domain)
 
 
-def run(transducer: TransducerLike, tree: TreeLike) -> Tree:
+def run(
+    transducer: TransducerLike,
+    tree: TreeLike,
+    backend: Optional[str] = None,
+) -> Tree:
     """Apply a transducer to an input tree: ``[[M]](s)``.
 
     Raises :class:`~repro.errors.UndefinedTransductionError` when the
@@ -147,14 +153,20 @@ def run(transducer: TransducerLike, tree: TreeLike) -> Tree:
     the shared tree DAG — arbitrarily deep inputs are fine, and repeated
     runs over overlapping inputs are incremental through the persistent
     ``(state, node-uid)`` memo.
+
+    ``backend`` selects an execution backend by registry name
+    (``tables`` / ``codegen`` / ``numpy``); ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable, then the ``tables`` default.
+    All backends are byte-identical in outputs and errors.
     """
-    return engine_for(_as_dtop(transducer)).run(parse_tree(tree))
+    return engine_for(_as_dtop(transducer), backend).run(parse_tree(tree))
 
 
 def _batch_outcomes(
     transducer: TransducerLike,
     trees: Iterable[TreeLike],
     parallel: Optional[int],
+    backend: Optional[str] = None,
 ) -> list:
     """Per-input outcomes, serial or through a sharded worker pool."""
     machine = _as_dtop(transducer)
@@ -162,15 +174,16 @@ def _batch_outcomes(
     if parallel is not None and parallel > 1:
         from repro.serve import TransformService
 
-        with TransformService(machine, jobs=parallel) as service:
+        with TransformService(machine, jobs=parallel, backend=backend) as service:
             return list(service.map(forest))
-    return engine_for(machine).run_batch_outcomes(forest)
+    return engine_for(machine, backend).run_batch_outcomes(forest)
 
 
 def run_batch(
     transducer: TransducerLike,
     trees: Iterable[TreeLike],
     parallel: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list:
     """Apply a transducer to a whole forest in one bottom-up sweep.
 
@@ -193,7 +206,7 @@ def run_batch(
     >>> [str(t) for t in run_batch(learned, ["f(a, b)", "f(b, b)"])]
     ['g(b)', 'g(b)']
     """
-    outcomes = _batch_outcomes(transducer, trees, parallel)
+    outcomes = _batch_outcomes(transducer, trees, parallel, backend)
     for outcome in outcomes:
         if isinstance(outcome, Exception):
             raise outcome
@@ -204,6 +217,7 @@ def try_run_batch(
     transducer: TransducerLike,
     trees: Iterable[TreeLike],
     parallel: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list:
     """Like :func:`run_batch`, but undefined inputs yield ``None``.
 
@@ -214,7 +228,7 @@ def try_run_batch(
     and silently reporting them as undefined would misclassify them.
     """
     results = []
-    for outcome in _batch_outcomes(transducer, trees, parallel):
+    for outcome in _batch_outcomes(transducer, trees, parallel, backend):
         if isinstance(outcome, UndefinedTransductionError):
             results.append(None)
         elif isinstance(outcome, Exception):
@@ -259,7 +273,7 @@ def serve_forever(
     concurrent requests into micro-batches, and shards each model across
     ``jobs`` worker processes.  Extra ``knobs`` — ``max_batch``,
     ``max_wait_ms``, ``max_pending``, ``stats``, ``metrics``,
-    ``log_json`` — are forwarded to
+    ``log_json``, ``backend`` — are forwarded to
     :func:`repro.server.app.serve_forever`.  Blocks; returns the exit
     code.
     """
@@ -333,12 +347,15 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     bucket hits).
 
     Per-transducer run memos are reported by ``DTOP.cache_stats`` and
-    per-sample memos by ``Sample.cache_stats()``.
+    per-sample memos by ``Sample.cache_stats()``.  The ``backends``
+    entry breaks batches / hits / misses down by execution backend
+    process-wide (``tables`` / ``codegen`` / ``numpy``).
     """
     return {
         "intern": intern_stats(),
         "lcp": lcp_cache_stats(),
         "sample_tables": sample_tables_stats(),
+        "backends": backend_stats(),
     }
 
 
@@ -352,3 +369,4 @@ def clear_caches() -> None:
     reset_intern_stats()
     clear_sample_table_caches()
     clear_learning_memos()
+    reset_backend_stats()

@@ -348,6 +348,7 @@ def _cmd_apply(args: argparse.Namespace) -> int:
             output=args.output,
             chunk_docs=args.chunk_docs,
             stats=False,
+            backend=args.backend,
         )
     paths = _collect_documents(args)
 
@@ -390,7 +391,9 @@ def _cmd_apply(args: argparse.Namespace) -> int:
             documents.append(None)
     batch = iter(
         transformation.apply_batch(
-            [d for d in documents if d is not None], jobs=args.jobs
+            [d for d in documents if d is not None],
+            jobs=args.jobs,
+            backend=args.backend,
         )
     )
     for index, document in enumerate(documents):
@@ -432,6 +435,7 @@ def _serve_stream(
     output: Optional[str],
     chunk_docs: int,
     stats: bool,
+    backend: Optional[str] = None,
 ) -> int:
     """Shared engine of ``serve`` and ``apply --stream``.
 
@@ -459,7 +463,9 @@ def _serve_stream(
     failures = 0
     start = time.perf_counter()
     for index, outcome in enumerate(
-        transformation.apply_stream(documents, jobs=jobs, chunk_docs=chunk_docs)
+        transformation.apply_stream(
+            documents, jobs=jobs, chunk_docs=chunk_docs, backend=backend
+        )
     ):
         count += 1
         if isinstance(outcome, Exception):
@@ -498,6 +504,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         output=args.output,
         chunk_docs=args.chunk_docs,
         stats=args.stats,
+        backend=args.backend,
     )
 
 
@@ -515,6 +522,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         stats=args.stats,
         metrics=args.metrics,
         log_json=args.log_json,
+        backend=args.backend,
     )
 
 
@@ -623,6 +631,11 @@ def build_parser() -> argparse.ArgumentParser:
         "loading locally; --transform then names a served model "
         "(NAME or NAME@VERSION)",
     )
+    apply_cmd.add_argument(
+        "--backend",
+        help="execution backend (tables/codegen/numpy; default: "
+        "$REPRO_BACKEND, then tables)",
+    )
     apply_cmd.set_defaults(func=_cmd_apply)
 
     serve = commands.add_parser(
@@ -647,6 +660,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--stats", action="store_true", help="print throughput statistics"
+    )
+    serve.add_argument(
+        "--backend",
+        help="execution backend (tables/codegen/numpy; default: "
+        "$REPRO_BACKEND, then tables)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -704,6 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream structured one-line JSON events (reloads, shard "
         "crashes/restarts/quarantines) to stderr",
+    )
+    server.add_argument(
+        "--backend",
+        help="server-wide execution backend default (tables/codegen/"
+        "numpy); per-model 'backend' artifact keys override it",
     )
     server.set_defaults(func=_cmd_server)
 

@@ -28,6 +28,13 @@ so the compilation never goes stale).  The classic recursive interpreter
 (:meth:`DTOP.apply`, :meth:`DTTA.accepts_from`) remains for origin
 tracking and as the differential-testing reference.
 
+The *execute* stage is pluggable: :mod:`repro.engine.backends` registers
+alternative executors over the same compiled tables — ``tables`` (the
+dict-driven default), ``codegen`` (per-machine generated Python), and
+``numpy`` (array-lowered per-height sweeps) — selected per call via
+``engine_for(machine, backend=...)``, per model via registry artifacts,
+or process-wide via the ``REPRO_BACKEND`` environment variable.
+
 compile the sample (once per sample, extended incrementally)
     :mod:`repro.engine.sample_tables` is the learning-side analogue:
     :class:`~repro.engine.sample_tables.SampleTables` lowers a sample
@@ -40,6 +47,16 @@ compile the sample (once per sample, extended incrementally)
     :class:`~repro.learning.sample.Sample` remain the reference.
 """
 
+from repro.engine.backends import (
+    DEFAULT_BACKEND,
+    available_backends,
+    backend_stats,
+    get_backend,
+    register_backend,
+    registered_backends,
+    reset_backend_stats,
+    resolve_backend,
+)
 from repro.engine.compile import (
     CompiledDTOP,
     CompiledDTTA,
@@ -49,6 +66,7 @@ from repro.engine.compile import (
 from repro.engine.execute import (
     AutomatonEngine,
     Engine,
+    EngineSet,
     automaton_engine_for,
     engine_for,
 )
@@ -68,9 +86,18 @@ __all__ = [
     "compile_dtop",
     "compile_dtta",
     "Engine",
+    "EngineSet",
     "AutomatonEngine",
     "engine_for",
     "automaton_engine_for",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_stats",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "reset_backend_stats",
+    "resolve_backend",
     "SampleTables",
     "MergeIndex",
     "tables_for",

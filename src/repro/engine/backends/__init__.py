@@ -1,0 +1,223 @@
+"""Pluggable execution backends behind the engine interface.
+
+A *backend* is a factory turning a :class:`~repro.engine.compile.CompiledDTOP`
+into an executor implementing the engine surface (``run_batch_outcomes``,
+``run_batch``, ``try_run_batch``, ``run``, ``try_run``, ``eval_state``,
+``cache_stats``, ``clear_cache``, ``memo_size``) with interpreter-identical
+semantics — byte-identical :class:`~repro.errors.UndefinedTransductionError`
+messages included.  Three ship in-tree:
+
+``tables`` (default)
+    :class:`~repro.engine.execute.Engine` — the dict-driven template
+    replayer.  Always available; the reference the others are fuzzed
+    against.
+``codegen``
+    :class:`~repro.engine.backends.codegen.CodegenEngine` — per-machine
+    generated Python: one specialized function per rule, compiled with
+    :func:`compile`, constants and child memos bound as plain names.
+``numpy``
+    :class:`~repro.engine.backends.vectorized.NumpyEngine` — the demand
+    set lowered to parallel arrays, the sweep run as per-height
+    vectorized passes.  Registered only when numpy imports.
+
+Selection precedence, applied by :func:`resolve_backend`: explicit call
+argument > model artifact ``"backend"`` key > ``REPRO_BACKEND`` in the
+environment > :data:`DEFAULT_BACKEND`.  :func:`get_backend` raises
+:class:`~repro.errors.BackendError` for unknown or unavailable names.
+
+Every backend engine reports its per-batch hit/miss counters here
+(:func:`note_batch`), so :func:`backend_stats` shows which backend served
+what process-wide — surfaced by ``api.cache_stats()`` and the server's
+``stats``/``metrics`` verbs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import BackendError
+
+#: The backend used when neither caller, artifact, nor environment says.
+DEFAULT_BACKEND = "tables"
+
+#: Environment variable consulted by :func:`resolve_backend`.
+ENV_VAR = "REPRO_BACKEND"
+
+BackendFactory = Callable[[object], object]  # CompiledDTOP → engine
+
+
+class _BackendSpec:
+    __slots__ = ("name", "factory", "probe", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        factory: BackendFactory,
+        probe: Optional[Callable[[], bool]],
+        doc: str,
+    ):
+        self.name = name
+        self.factory = factory
+        self.probe = probe
+        self.doc = doc
+
+    def available(self) -> bool:
+        return self.probe is None or self.probe()
+
+
+_REGISTRY: Dict[str, _BackendSpec] = {}
+_STATS_LOCK = threading.Lock()
+_STATS: Dict[str, Dict[str, int]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    *,
+    available: Optional[Callable[[], bool]] = None,
+    doc: str = "",
+) -> None:
+    """Register ``factory`` under ``name`` (replacing any previous one).
+
+    ``available`` is an optional dependency probe; unavailable backends
+    stay listed by :func:`registered_backends` but are excluded from
+    :func:`available_backends` and refused by :func:`get_backend`.
+    """
+    _REGISTRY[name] = _BackendSpec(name, factory, available, doc)
+
+
+def registered_backends() -> List[str]:
+    """Every registered backend name, available or not."""
+    return list(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """The backend names whose dependencies import in this interpreter."""
+    return [name for name, spec in _REGISTRY.items() if spec.available()]
+
+
+def get_backend(name: str) -> BackendFactory:
+    """The engine factory registered under ``name``.
+
+    Raises :class:`~repro.errors.BackendError` for unknown names and for
+    registered backends whose dependency probe fails.
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise BackendError(
+            f"unknown execution backend {name!r} (registered: {known})"
+        )
+    if not spec.available():
+        raise BackendError(
+            f"execution backend {name!r} is registered but unavailable "
+            f"(missing dependency)"
+        )
+    return spec.factory
+
+
+def resolve_backend(*preferences: Optional[str]) -> str:
+    """Pick a backend name: first non-``None`` preference > env > default.
+
+    Callers list their precedence explicitly, e.g.
+    ``resolve_backend(call_arg, artifact_backend)``.  The winning name is
+    validated against the registry (availability included) so a typo in
+    ``REPRO_BACKEND`` fails loudly at resolution time, not mid-batch.
+    """
+    name = None
+    for preference in preferences:
+        if preference is not None:
+            name = preference
+            break
+    if name is None:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    get_backend(name)  # validate; raises BackendError when bad
+    return name
+
+
+def note_batch(name: str, hits: int, misses: int) -> None:
+    """Fold one batch's counters into the process-wide per-backend stats."""
+    with _STATS_LOCK:
+        counters = _STATS.get(name)
+        if counters is None:
+            counters = _STATS[name] = {"batches": 0, "hits": 0, "misses": 0}
+        counters["batches"] += 1
+        counters["hits"] += hits
+        counters["misses"] += misses
+
+
+def backend_stats() -> Dict[str, Dict[str, int]]:
+    """Process-wide ``{backend: {batches, hits, misses}}`` since reset."""
+    with _STATS_LOCK:
+        return {name: dict(counters) for name, counters in _STATS.items()}
+
+
+def reset_backend_stats() -> None:
+    """Zero the process-wide per-backend counters."""
+    with _STATS_LOCK:
+        _STATS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends (factories import lazily: execute.py imports this
+# module for resolution, so eager imports would cycle).
+# ---------------------------------------------------------------------------
+
+
+def _tables_factory(compiled):
+    from repro.engine.execute import Engine
+
+    return Engine(compiled)
+
+
+def _codegen_factory(compiled):
+    from repro.engine.backends.codegen import CodegenEngine
+
+    return CodegenEngine(compiled)
+
+
+def _numpy_probe() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _numpy_factory(compiled):
+    from repro.engine.backends.vectorized import NumpyEngine
+
+    return NumpyEngine(compiled)
+
+
+register_backend(
+    "tables",
+    _tables_factory,
+    doc="dict-driven template replay (the reference engine)",
+)
+register_backend(
+    "codegen",
+    _codegen_factory,
+    doc="per-machine generated Python, one function per rule",
+)
+register_backend(
+    "numpy",
+    _numpy_factory,
+    available=_numpy_probe,
+    doc="array-lowered demand set, per-height vectorized sweeps",
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "backend_stats",
+    "get_backend",
+    "note_batch",
+    "register_backend",
+    "registered_backends",
+    "reset_backend_stats",
+    "resolve_backend",
+]

@@ -1,0 +1,395 @@
+"""Numpy-vectorized execution backend.
+
+The demand set is lowered to parallel arrays over a persistent per-engine
+*node table*: every distinct subtree this engine has ever seen gets a
+dense row carrying its ``symbol_id`` (int32, with ``num_symbols`` as the
+unknown-label sentinel), its resolved child rows (int32 matrix, ``-1`` =
+not yet resolved), and Python-side mirrors (node, uid) for the paths
+that need objects back.  Per batch:
+
+* the demand pass walks the seeds iteratively in Python (registering new
+  rows lazily) and collects the demanded pairs as flat ``state_id`` /
+  ``row`` / ``height`` arrays;
+* the sweep sorts those arrays by height once (``np.argsort``) and
+  processes each height level as one vectorized pass — a batched
+  ``rule_lookup[state, symbol]`` gather dispatches the whole level,
+  failure propagation is boolean-mask algebra over a per-sweep
+  ``(state × row)`` bit plane, and call answers arrive as object-array
+  gathers from the ``values`` plane.  Only the final
+  ``Tree(label, children)`` construction per surviving pair remains a
+  Python loop, as does a scalar fallback for levels too small to
+  amortize array overhead (deep chains degenerate to one pair per
+  level; a depth-100 000 input is routine either way).
+
+Memoization lives in the ``values`` object plane plus per-state done-row
+sets; failures are per-sweep only and keyed ``(state_id, uid)`` exactly
+like the other backends, with byte-identical interpreter error messages
+and document-order first-failing-call propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import UndefinedTransductionError
+from repro.trees.tree import Tree
+
+from repro.engine.backends.base import BackendEngine, PairKey
+from repro.engine.compile import OP_CALL, OP_CONST, CompiledDTOP
+
+#: Height levels smaller than this run the scalar fallback; vectorizing
+#: a handful of rows costs more in array setup than it saves.
+VECTOR_MIN = 32
+
+#: Row ids are packed with the state id into one int for the per-sweep
+#: seen set; 2**40 rows is far beyond any reachable table size.
+_ROW_BITS = 40
+
+Constructor = Callable[[Tuple[Tree, ...]], Tree]
+
+
+def _build_constructor(
+    template: Sequence[Tuple], calls: Tuple[Tuple[int, int], ...]
+) -> Constructor:
+    """Replay closure mapping gathered call answers to the output tree.
+
+    ``values`` is positionally aligned with the rule's deduped
+    document-order call sites.
+    """
+    position = {site: index for index, site in enumerate(calls)}
+
+    def construct(values: Tuple[Tree, ...]) -> Tree:
+        operands: List[Tree] = []
+        push = operands.append
+        for instruction in template:
+            opcode = instruction[0]
+            if opcode == OP_CONST:
+                push(instruction[1])
+            elif opcode == OP_CALL:
+                push(values[position[(instruction[1], instruction[2])]])
+            else:  # OP_MAKE
+                arity = instruction[2]
+                if arity:
+                    made = Tree(instruction[1], tuple(operands[-arity:]))
+                    del operands[-arity:]
+                else:
+                    made = Tree(instruction[1], ())
+                push(made)
+        return operands[-1]
+
+    return construct
+
+
+class NumpyEngine(BackendEngine):
+    """Array-lowered executor for one compiled DTOP."""
+
+    backend = "numpy"
+
+    __slots__ = (
+        "_row_of",
+        "_nodes",
+        "_uid_list",
+        "_sym_list",
+        "_kid_rows",
+        "_cap",
+        "_sym",
+        "_kids",
+        "_val",
+        "_done_rows",
+        "_entries",
+        "_rule_lookup",
+        "_constructors",
+        "_const_result",
+        "_width",
+    )
+
+    def __init__(self, compiled: CompiledDTOP):
+        super().__init__(compiled)
+        num_states = compiled.num_states
+        num_symbols = compiled.num_symbols
+        # Dispatch plane with an extra sentinel column for unknown labels.
+        lookup = np.full((num_states, num_symbols + 1), -1, dtype=np.int32)
+        for state_id in range(num_states):
+            base = state_id * num_symbols
+            for symbol_id in range(num_symbols):
+                lookup[state_id, symbol_id] = compiled.rule_of[
+                    base + symbol_id
+                ]
+        self._rule_lookup = lookup
+        arities = getattr(compiled, "symbol_arity", None) or [0]
+        self._width = max(1, max(arities, default=0))
+        self._constructors: List[Constructor] = []
+        self._const_result: List[Optional[Tree]] = []
+        for template, calls in zip(compiled.rule_templates, compiled.rule_calls):
+            constructor = _build_constructor(template, calls)
+            self._constructors.append(constructor)
+            self._const_result.append(None if calls else constructor(()))
+        self._reset_tables()
+
+    def _reset_tables(self) -> None:
+        self._row_of: Dict[Tree, int] = {}
+        self._nodes: List[Tree] = []
+        self._uid_list: List[int] = []
+        self._sym_list: List[int] = []
+        self._kid_rows: List[List[int]] = []
+        self._cap = 1024
+        self._sym = np.full(self._cap, self.compiled.num_symbols, np.int32)
+        self._kids = np.full((self._cap, self._width), -1, np.int32)
+        self._val = np.empty((self.compiled.num_states, self._cap), object)
+        self._done_rows: List[set] = [
+            set() for _ in range(self.compiled.num_states)
+        ]
+        self._entries = 0
+
+    def _grow(self) -> None:
+        old = self._cap
+        self._cap = old * 2
+        sym = np.full(self._cap, self.compiled.num_symbols, np.int32)
+        sym[:old] = self._sym
+        self._sym = sym
+        kids = np.full((self._cap, self._width), -1, np.int32)
+        kids[:old] = self._kids
+        self._kids = kids
+        val = np.empty((self.compiled.num_states, self._cap), object)
+        val[:, :old] = self._val
+        self._val = val
+
+    def _register(self, node: Tree) -> int:
+        row = self._row_of.get(node)
+        if row is not None:
+            return row
+        row = len(self._nodes)
+        if row >= self._cap:
+            self._grow()
+        self._row_of[node] = row
+        self._nodes.append(node)
+        self._uid_list.append(node.uid)
+        symbol = self.compiled.symbol_ids.get(
+            node.label, self.compiled.num_symbols
+        )
+        self._sym_list.append(symbol)
+        self._sym[row] = symbol
+        self._kid_rows.append([-1] * len(node.children))
+        return row
+
+    # -- backend primitives ----------------------------------------------
+
+    def _sweep(
+        self, seeds: Sequence[Tuple[int, Tree]]
+    ) -> Dict[PairKey, UndefinedTransductionError]:
+        compiled = self.compiled
+        rule_of = compiled.rule_of
+        rule_calls = compiled.rule_calls
+        num_symbols = compiled.num_symbols
+        sym_list = self._sym_list
+        kid_rows = self._kid_rows
+        done_rows = self._done_rows
+        nodes = self._nodes
+        register = self._register
+
+        hits = 0
+        demanded_state: List[int] = []
+        demanded_row: List[int] = []
+        demanded_height: List[int] = []
+        seen: set = set()
+        stack: List[Tuple[int, int, Tree]] = []
+        for state_id, node in seeds:
+            row = register(node)
+            if row in done_rows[state_id]:
+                hits += 1
+                continue
+            key = (state_id << _ROW_BITS) | row
+            if key not in seen:
+                seen.add(key)
+                stack.append((state_id, row, node))
+        while stack:
+            state_id, row, node = stack.pop()
+            demanded_state.append(state_id)
+            demanded_row.append(row)
+            demanded_height.append(node._height)
+            symbol = sym_list[row]
+            rule = (
+                rule_of[state_id * num_symbols + symbol]
+                if symbol < num_symbols
+                else -1
+            )
+            if rule < 0:
+                continue
+            resolved = kid_rows[row]
+            children = node.children
+            for called_id, var in rule_calls[rule]:
+                child_row = resolved[var - 1]
+                if child_row < 0:
+                    child = children[var - 1]
+                    child_row = register(child)
+                    resolved[var - 1] = child_row
+                    self._kids[row, var - 1] = child_row
+                else:
+                    child = nodes[child_row]
+                if child_row in done_rows[called_id]:
+                    hits += 1
+                    continue
+                key = (called_id << _ROW_BITS) | child_row
+                if key not in seen:
+                    seen.add(key)
+                    stack.append((called_id, child_row, child))
+
+        failed: Dict[PairKey, UndefinedTransductionError] = {}
+        count = len(demanded_row)
+        if count:
+            states = np.fromiter(demanded_state, np.int64, count)
+            rows = np.fromiter(demanded_row, np.int64, count)
+            heights = np.fromiter(demanded_height, np.int64, count)
+            order = np.argsort(heights, kind="stable")
+            states = states[order]
+            rows = rows[order]
+            heights = heights[order]
+            fail_mask = np.zeros(
+                (max(1, compiled.num_states), self._cap), bool
+            )
+            level_starts = np.flatnonzero(
+                np.r_[True, heights[1:] != heights[:-1]]
+            )
+            level_ends = np.r_[level_starts[1:], count]
+            for start, end in zip(level_starts.tolist(), level_ends.tolist()):
+                if end - start < VECTOR_MIN:
+                    self._sweep_scalar(
+                        states[start:end].tolist(),
+                        rows[start:end].tolist(),
+                        failed,
+                        fail_mask,
+                    )
+                else:
+                    self._sweep_level(
+                        states[start:end], rows[start:end], failed, fail_mask
+                    )
+        self._note(hits, count - len(failed))
+        return failed
+
+    def _sweep_level(self, states, rows, failed, fail_mask) -> None:
+        """One height level as vectorized gathers and boolean masks."""
+        uid_list = self._uid_list
+        symbols = self._sym[rows]
+        rules = self._rule_lookup[states, symbols]
+        undefined = rules < 0
+        if undefined.any():
+            for state_id, row in zip(
+                states[undefined].tolist(), rows[undefined].tolist()
+            ):
+                failed[(state_id, uid_list[row])] = self._undefined(
+                    state_id, self._nodes[row].label
+                )
+                fail_mask[state_id, row] = True
+        for rule in np.unique(rules[~undefined]).tolist():
+            selector = rules == rule
+            rule_rows = rows[selector]
+            rule_states = states[selector]
+            calls = self.compiled.rule_calls[rule]
+            if not calls:
+                constant = self._const_result[rule]
+                results = np.empty(rule_rows.size, object)
+                results.fill(constant)
+                self._store(rule_states, rule_rows, results)
+                continue
+            ok = np.ones(rule_rows.size, bool)
+            gathered = []
+            for called_id, var in calls:
+                kids = self._kids[rule_rows, var - 1]
+                child_failed = fail_mask[called_id, kids]
+                newly = child_failed & ok
+                if newly.any():
+                    # First failing call site in document order wins.
+                    for state_id, row, kid in zip(
+                        rule_states[newly].tolist(),
+                        rule_rows[newly].tolist(),
+                        kids[newly].tolist(),
+                    ):
+                        error = failed[(called_id, uid_list[kid])]
+                        failed[(state_id, uid_list[row])] = error
+                        fail_mask[state_id, row] = True
+                    ok &= ~child_failed
+                gathered.append(self._val[called_id, kids])
+            if not ok.all():
+                rule_rows = rule_rows[ok]
+                rule_states = rule_states[ok]
+                if not rule_rows.size:
+                    continue
+                gathered = [answers[ok] for answers in gathered]
+            construct = self._constructors[rule]
+            built = [
+                construct(values)
+                for values in zip(*(answers.tolist() for answers in gathered))
+            ]
+            results = np.empty(len(built), object)
+            results[:] = built
+            self._store(rule_states, rule_rows, results)
+
+    def _store(self, states, rows, results) -> None:
+        self._val[states, rows] = results
+        for state_id in np.unique(states).tolist():
+            self._done_rows[state_id].update(
+                rows[states == state_id].tolist()
+            )
+        self._entries += len(results)
+
+    def _sweep_scalar(self, state_list, row_list, failed, fail_mask) -> None:
+        """Python fallback for levels too small to vectorize."""
+        compiled = self.compiled
+        rule_of = compiled.rule_of
+        rule_calls = compiled.rule_calls
+        num_symbols = compiled.num_symbols
+        uid_list = self._uid_list
+        sym_list = self._sym_list
+        kid_rows = self._kid_rows
+        values = self._val
+        done_rows = self._done_rows
+        for state_id, row in zip(state_list, row_list):
+            symbol = sym_list[row]
+            rule = (
+                rule_of[state_id * num_symbols + symbol]
+                if symbol < num_symbols
+                else -1
+            )
+            if rule < 0:
+                failed[(state_id, uid_list[row])] = self._undefined(
+                    state_id, self._nodes[row].label
+                )
+                fail_mask[state_id, row] = True
+                continue
+            calls = rule_calls[rule]
+            if not calls:
+                result = self._const_result[rule]
+            else:
+                resolved = kid_rows[row]
+                error = None
+                answers = []
+                for called_id, var in calls:
+                    kid = resolved[var - 1]
+                    if fail_mask[called_id, kid]:
+                        error = failed[(called_id, uid_list[kid])]
+                        break
+                    answers.append(values[called_id, kid])
+                if error is not None:
+                    failed[(state_id, uid_list[row])] = error
+                    fail_mask[state_id, row] = True
+                    continue
+                result = self._constructors[rule](tuple(answers))
+            values[state_id, row] = result
+            done_rows[state_id].add(row)
+            self._entries += 1
+
+    def _pair_value(self, state_id: int, tree: Tree) -> Optional[Tree]:
+        row = self._row_of.get(tree)
+        if row is None or row not in self._done_rows[state_id]:
+            return None
+        return self._val[state_id, row]
+
+    def memo_size(self) -> int:
+        return self._entries
+
+    def _drop_memo(self) -> None:
+        # Registration rows hold strong references to every input seen;
+        # clearing the memo releases them along with the value plane.
+        self._reset_tables()

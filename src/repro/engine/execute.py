@@ -31,12 +31,14 @@ bitmask of all automaton states that accept it.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import UndefinedTransductionError
 from repro.trees.tree import Tree
 from repro.transducers.rhs import StateName
 
+from repro.engine.backends import get_backend, note_batch, resolve_backend
 from repro.engine.compile import (
     OP_CALL,
     OP_CONST,
@@ -62,6 +64,9 @@ class Engine:
     shared instance with :func:`engine_for`.
     """
 
+    #: Registry name; this engine is the ``tables`` execution backend.
+    backend = "tables"
+
     __slots__ = ("compiled", "_memo", "_stats")
 
     def __init__(self, compiled: CompiledDTOP):
@@ -86,6 +91,8 @@ class Engine:
         memo = self._memo
         stats = self._stats
         stats["batches"] += 1
+        hits = 0
+        misses = 0
         rule_of = compiled.rule_of
         rule_calls = compiled.rule_calls
         num_symbols = compiled.num_symbols
@@ -97,7 +104,7 @@ class Engine:
         for state_id, node in seeds:
             key = (state_id, node.uid)
             if key in memo:
-                stats["hits"] += 1
+                hits += 1
             elif key not in demanded:
                 demanded[key] = (state_id, node)
                 stack.append((state_id, node))
@@ -114,7 +121,7 @@ class Engine:
                 child = children[var - 1]
                 key = (called_id, child.uid)
                 if key in memo:
-                    stats["hits"] += 1
+                    hits += 1
                 elif key not in demanded:
                     demanded[key] = (called_id, child)
                     stack.append((called_id, child))
@@ -148,7 +155,10 @@ class Engine:
             memo[key] = self._replay(
                 compiled.rule_templates[rule], node, children
             )
-            stats["misses"] += 1
+            misses += 1
+        stats["hits"] += hits
+        stats["misses"] += misses
+        note_batch(self.backend, hits, misses)
         return failed
 
     def _replay(
@@ -261,11 +271,19 @@ class Engine:
     # Cache management
     # ------------------------------------------------------------------
 
+    def memo_size(self) -> int:
+        """Number of memoized pairs (drives the worker memo cap)."""
+        return len(self._memo)
+
     @property
-    def cache_stats(self) -> Dict[str, int]:
+    def cache_stats(self) -> Dict[str, object]:
         """Counters: ``hits``, ``misses`` (pair evaluations), ``batches``,
-        ``entries``."""
-        return {**self._stats, "entries": len(self._memo)}
+        ``entries``, plus the serving ``backend`` name."""
+        return {
+            **self._stats,
+            "entries": len(self._memo),
+            "backend": self.backend,
+        }
 
     def clear_cache(self) -> None:
         """Drop the persistent pair memo and zero the counters."""
@@ -350,23 +368,68 @@ class AutomatonEngine:
         self._masks.clear()
 
 
-def engine_for(transducer: "DTOP") -> Engine:
-    """The shared compiled engine of a transducer (compiled on first use).
+class EngineSet:
+    """Per-transducer cache: one compilation, one engine per backend.
 
-    Cached on the (immutable) transducer instance, so every consumer —
-    ``api.run``, stopped runs, the learner's oracle — shares one memo.
+    Stored on the (immutable) transducer's ``_engine`` slot so every
+    consumer — ``api.run``, stopped runs, the learner's oracle — shares
+    one compiled table and, per backend, one memo.
     """
-    engine = transducer._engine
-    if engine is None:
-        engine = Engine(compile_dtop(transducer))
-        transducer._engine = engine
-    return engine
+
+    __slots__ = ("compiled", "engines")
+
+    def __init__(self, compiled: CompiledDTOP):
+        self.compiled = compiled
+        self.engines: Dict[str, object] = {}
+
+    def engine(self, name: str):
+        engine = self.engines.get(name)
+        if engine is None:
+            with _COMPILE_LOCK:
+                engine = self.engines.get(name)
+                if engine is None:
+                    engine = get_backend(name)(self.compiled)
+                    self.engines[name] = engine
+        return engine
+
+    def clear(self) -> None:
+        """Drop every backend's memo (artifacts stay compiled)."""
+        for engine in list(self.engines.values()):
+            engine.clear_cache()
+
+
+#: Guards first-use compilation and backend instantiation: without it,
+#: two threads hitting a fresh machine both compile and the loser's memo
+#: is silently discarded (wasted work, split caches).
+_COMPILE_LOCK = threading.Lock()
+
+
+def engine_for(transducer: "DTOP", backend: Optional[str] = None) -> Engine:
+    """The shared engine of a transducer for the resolved backend.
+
+    ``backend`` overrides the ``REPRO_BACKEND`` environment variable,
+    which overrides the ``tables`` default.  The machine is compiled on
+    first use (once, under a lock) and each backend's engine is built
+    lazily from the shared tables, so switching backends never recompiles
+    and every caller naming the same backend shares one memo.
+    """
+    engines = transducer._engine
+    if engines is None:
+        with _COMPILE_LOCK:
+            engines = transducer._engine
+            if engines is None:
+                engines = EngineSet(compile_dtop(transducer))
+                transducer._engine = engines
+    return engines.engine(resolve_backend(backend))
 
 
 def automaton_engine_for(automaton: "DTTA") -> AutomatonEngine:
     """The shared compiled engine of a DTTA (compiled on first use)."""
     engine = automaton._engine
     if engine is None:
-        engine = AutomatonEngine(compile_dtta(automaton))
-        automaton._engine = engine
+        with _COMPILE_LOCK:
+            engine = automaton._engine
+            if engine is None:
+                engine = AutomatonEngine(compile_dtta(automaton))
+                automaton._engine = engine
     return engine

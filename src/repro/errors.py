@@ -148,3 +148,12 @@ class AmbiguousContentModelError(DTDError):
 
 class EncodingError(ReproError):
     """A ranked tree is not a valid DTD-encoding, or encoding failed."""
+
+
+class BackendError(ReproError):
+    """An execution backend name is unknown or unavailable.
+
+    Raised by :func:`repro.engine.backends.get_backend` for names that
+    were never registered, and for registered backends whose optional
+    dependency (e.g. numpy) is missing in this interpreter.
+    """

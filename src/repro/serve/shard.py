@@ -43,13 +43,15 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.backends import DEFAULT_BACKEND, get_backend
 from repro.engine.compile import OP_CONST, CompiledDTOP
 from repro.engine.execute import Engine
 from repro.errors import ServiceError, UndefinedTransductionError
 from repro.trees.tree import Label, Tree
 
 #: Version tag of the engine payload; bump when the layout changes.
-PAYLOAD_FORMAT = "repro/engine-payload@1"
+#: ``@2`` added the execution backend name and the symbol arity table.
+PAYLOAD_FORMAT = "repro/engine-payload@2"
 
 #: One encoded node: ``(label, child_index, …)`` — children point at
 #: earlier records of the same table (postorder invariant).
@@ -118,13 +120,16 @@ def decode_forest(encoded: EncodedForest) -> List[Tree]:
 # ---------------------------------------------------------------------------
 
 
-def pack_engine(compiled: CompiledDTOP) -> tuple:
+def pack_engine(
+    compiled: CompiledDTOP, backend: str = DEFAULT_BACKEND
+) -> tuple:
     """Reduce compiled DTOP tables to a plain picklable payload.
 
     The payload contains no :class:`Tree`, no source transducer, and no
     caches — ``OP_CONST`` operands are flat-encoded through the forest
     codec (shared ground subtrees stay shared).  It is serialized once
-    per worker by the pool initializer.
+    per worker by the pool initializer.  ``backend`` names the execution
+    backend every worker honoring this payload must instantiate.
     """
     const_trees: List[Tree] = []
     for template in list(compiled.rule_templates) + [compiled.axiom_template]:
@@ -150,8 +155,10 @@ def pack_engine(compiled: CompiledDTOP) -> tuple:
     axiom_template = strip(compiled.axiom_template)
     return (
         PAYLOAD_FORMAT,
+        backend,
         tuple(compiled.state_names),
         tuple(compiled.symbol_names),
+        tuple(compiled.symbol_arity),
         tuple(compiled.rule_of),
         tuple(compiled.rule_calls),
         rule_templates,
@@ -162,13 +169,20 @@ def pack_engine(compiled: CompiledDTOP) -> tuple:
 
 
 def unpack_engine(payload: tuple) -> Engine:
-    """Rebuild a fresh :class:`Engine` from a :func:`pack_engine` payload."""
+    """Rebuild a fresh engine from a :func:`pack_engine` payload.
+
+    The payload's backend field decides which execution backend the
+    engine is built on (workers honor the parent's choice); the return
+    value implements the full engine surface whichever backend wins.
+    """
     if not payload or payload[0] != PAYLOAD_FORMAT:
         raise ServiceError(f"not a {PAYLOAD_FORMAT} payload")
     (
         _format,
+        backend,
         state_names,
         symbol_names,
+        symbol_arity,
         rule_of,
         rule_calls,
         rule_templates,
@@ -194,12 +208,13 @@ def unpack_engine(payload: tuple) -> Engine:
     compiled.symbol_ids = {name: i for i, name in enumerate(symbol_names)}
     compiled.num_states = len(state_names)
     compiled.num_symbols = len(symbol_names)
+    compiled.symbol_arity = list(symbol_arity)
     compiled.rule_of = list(rule_of)
     compiled.rule_calls = list(rule_calls)
     compiled.rule_templates = [restore(t) for t in rule_templates]
     compiled.axiom_calls = axiom_calls
     compiled.axiom_template = restore(axiom_template)
-    return Engine(compiled)
+    return get_backend(backend)(compiled)
 
 
 # ---------------------------------------------------------------------------
@@ -377,7 +392,7 @@ def worker_translate(
     if crash_label is not None and any(t.label == crash_label for t in trees):
         os._exit(3)
     raw = _WORKER_ENGINE.run_batch_outcomes(trees)
-    if len(_WORKER_ENGINE._memo) > WORKER_MEMO_LIMIT:
+    if _WORKER_ENGINE.memo_size() > WORKER_MEMO_LIMIT:
         _WORKER_ENGINE.clear_cache()
     output_trees = [o for o in raw if isinstance(o, Tree)]
     records, root_indexes = encode_forest(output_trees)

@@ -63,6 +63,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.engine import backend_stats
 from repro.errors import (
     OverloadedError,
     RegistryError,
@@ -239,6 +240,7 @@ class TransformServer:
             "registry": self.registry.stats,
             "batcher": self.batcher.stats,
             "models": self.registry.describe(),
+            "backends": backend_stats(),
         }
         if self.supervisor is not None:
             snapshot["supervisor"] = self.supervisor.stats
@@ -348,11 +350,20 @@ class TransformServer:
     # -- operations -----------------------------------------------------
 
     def _note_outcome(
-        self, model_label: str, outcome: str, started_at: float
+        self,
+        model_label: str,
+        outcome: str,
+        started_at: float,
+        backend: Optional[str] = None,
     ) -> None:
         """The completion hook: request latency + outcome counter."""
         labels = {"model": model_label, "outcome": outcome}
         self.metrics.inc("repro_requests_total", labels)
+        if backend is not None:
+            self.metrics.inc(
+                "repro_backend_requests_total",
+                {"model": model_label, "backend": backend},
+            )
         self.metrics.observe(
             "repro_request_seconds",
             {"model": model_label},
@@ -397,9 +408,11 @@ class TransformServer:
         # must not be client-controlled.
         model_label = "<unresolved>"
         outcome_label = "error"
+        backend_label = None
         try:
             entry = self.registry.get(str(model))
             model_label = entry.key
+            backend_label = entry.backend
             if response_format == "packed" and entry.kind == KIND_XML:
                 raise ServiceError(
                     f"model {entry.key} is an XML transformation bundle; "
@@ -460,7 +473,9 @@ class TransformServer:
                     )
                 ),
             }
-        self._note_outcome(model_label, outcome_label, started_at)
+        self._note_outcome(
+            model_label, outcome_label, started_at, backend_label
+        )
         await self._write(writer, response)
 
     async def _op_transform_stream(self, request, reader, writer) -> None:
@@ -598,7 +613,7 @@ class TransformServer:
             label = "error"
         else:
             label = "ok"
-        self._note_outcome(entry.key, label, started_at)
+        self._note_outcome(entry.key, label, started_at, entry.backend)
         return outcome
 
     async def _answer_stream_document(
@@ -739,6 +754,7 @@ def serve_forever(
     stats: bool = False,
     metrics: bool = False,
     log_json: bool = False,
+    backend: Optional[str] = None,
 ) -> int:
     """Run a transformation server until SIGINT/SIGTERM; returns 0.
 
@@ -754,9 +770,11 @@ def serve_forever(
     (``ServerClient.metrics()`` / ``metrics_text()``).  ``log_json=True``
     (CLI ``--log-json``) streams structured one-line JSON events —
     startup, reload outcomes, shard crashes/restarts/quarantines,
-    shutdown — to stderr.
+    shutdown — to stderr.  ``backend`` (CLI ``--backend``) sets the
+    server-wide execution backend default; per-model ``"backend"``
+    artifact keys still win.
     """
-    registry = ModelRegistry(models_dir, jobs=jobs)
+    registry = ModelRegistry(models_dir, jobs=jobs, backend=backend)
     server = TransformServer(
         registry,
         host=host,
@@ -825,6 +843,7 @@ class ServerThread:
     def __init__(self, models_dir: Union[str, Path], **server_kwargs):
         self._models_dir = models_dir
         self._jobs = server_kwargs.pop("jobs", None)
+        self._backend = server_kwargs.pop("backend", None)
         self._server_kwargs = server_kwargs
         self._ready = threading.Event()
         self._failure: Optional[BaseException] = None
@@ -844,7 +863,9 @@ class ServerThread:
 
     def _run(self) -> None:
         try:
-            registry = ModelRegistry(self._models_dir, jobs=self._jobs)
+            registry = ModelRegistry(
+                self._models_dir, jobs=self._jobs, backend=self._backend
+            )
         except BaseException as error:  # surface on __enter__
             self._failure = error
             self._ready.set()

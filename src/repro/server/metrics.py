@@ -33,6 +33,7 @@ The metric taxonomy the server emits (see ``docs/ARCHITECTURE.md``):
 family                                    type       labels
 ========================================  =========  =======================
 ``repro_requests_total``                  counter    ``model``, ``outcome``
+``repro_backend_requests_total``          counter    ``model``, ``backend``
 ``repro_connections_total``               counter    —
 ``repro_bad_requests_total``              counter    —
 ``repro_overloads_total``                 counter    ``model``
@@ -176,6 +177,11 @@ FAMILIES: Dict[str, Tuple[str, str]] = {
         "counter",
         "Transform requests answered, by model and outcome "
         "(ok/error/overload)",
+    ),
+    "repro_backend_requests_total": (
+        "counter",
+        "Transform requests answered, by model and execution backend "
+        "(tables/codegen/numpy)",
     ),
     "repro_connections_total": ("counter", "TCP connections accepted"),
     "repro_bad_requests_total": (

@@ -45,8 +45,9 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.engine import engine_for
+from repro.engine import engine_for, resolve_backend
 from repro.errors import (
+    BackendError,
     ModelNotFoundError,
     RegistryError,
     ReproError,
@@ -109,6 +110,7 @@ class ModelEntry:
         transformation=None,
         jobs: Optional[int] = None,
         fingerprint: Optional[Tuple[int, int]] = None,
+        backend: Optional[str] = None,
     ):
         self.name = name
         self.version = version
@@ -118,6 +120,8 @@ class ModelEntry:
         self.transformation = transformation
         self.jobs = max(1, jobs or 1)
         self.fingerprint = fingerprint
+        #: Resolved execution backend name this model serves on.
+        self.backend = backend if backend is not None else resolve_backend()
         self.requests = 0
         self._service = None
         self._refs = 0
@@ -222,7 +226,9 @@ class ModelEntry:
         if self._service is None:
             from repro.serve import TransformService
 
-            self._service = TransformService(self.machine, jobs=self.jobs)
+            self._service = TransformService(
+                self.machine, jobs=self.jobs, backend=self.backend
+            )
         return self._service
 
     def parse_document(self, text: str) -> Union[Tree, UTree]:
@@ -263,10 +269,14 @@ class ModelEntry:
         self.requests += len(documents)
         service = self.service()
         if self.kind == KIND_XML:
-            return self.transformation.apply_batch(documents, service=service)
+            return self.transformation.apply_batch(
+                documents, service=service, backend=self.backend
+            )
         if service is not None:
             return service.run_batch_outcomes(documents)
-        return engine_for(self.machine).run_batch_outcomes(documents)
+        return engine_for(self.machine, self.backend).run_batch_outcomes(
+            documents
+        )
 
     def describe(self) -> Dict[str, object]:
         info = {
@@ -274,6 +284,7 @@ class ModelEntry:
             "kind": self.kind,
             "path": str(self.path),
             "jobs": self.jobs,
+            "backend": self.backend,
             "states": len(self.machine.states),
             "rules": len(self.machine.rules),
             "requests": self.requests,
@@ -285,7 +296,9 @@ class ModelEntry:
         return info
 
 
-def _load_entry(path: Path, jobs: Optional[int]) -> ModelEntry:
+def _load_entry(
+    path: Path, jobs: Optional[int], default_backend: Optional[str] = None
+) -> ModelEntry:
     name, version = _parse_model_filename(path)
     stat = path.stat()
     fingerprint = (stat.st_mtime_ns, stat.st_size)
@@ -297,6 +310,18 @@ def _load_entry(path: Path, jobs: Optional[int]) -> ModelEntry:
         data = json.loads(path.read_text())
     except (OSError, ValueError) as error:
         raise RegistryError(f"cannot read model {path.name}: {error}") from None
+    # Per-model backend pin: an artifact's "backend" key beats the
+    # server-wide default, which beats REPRO_BACKEND, which beats
+    # "tables".  Validated here so a typo (or a backend whose dependency
+    # is missing on this host) fails this one file's load — per-file
+    # isolation on reload — instead of the first request.
+    artifact_backend = data.get("backend") if isinstance(data, dict) else None
+    try:
+        backend = resolve_backend(artifact_backend, default_backend)
+    except BackendError as error:
+        raise RegistryError(
+            f"cannot load model {path.name}: {error}"
+        ) from None
     format_key = data.get("format") if isinstance(data, dict) else None
     if format_key == XML_BUNDLE_FORMAT:
         from repro.cli import transformation_from_bundle
@@ -316,6 +341,7 @@ def _load_entry(path: Path, jobs: Optional[int]) -> ModelEntry:
             transformation=transformation,
             jobs=jobs,
             fingerprint=fingerprint,
+            backend=backend,
         )
     try:
         machine = serialize_from_data(data)
@@ -330,16 +356,23 @@ def _load_entry(path: Path, jobs: Optional[int]) -> ModelEntry:
         )
     return ModelEntry(
         name, version, path, KIND_DTOP, machine, jobs=jobs,
-        fingerprint=fingerprint,
+        fingerprint=fingerprint, backend=backend,
     )
 
 
 class ModelRegistry:
     """Load, resolve, and hot-reload the models of one directory."""
 
-    def __init__(self, models_dir: Union[str, Path], jobs: Optional[int] = None):
+    def __init__(
+        self,
+        models_dir: Union[str, Path],
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+    ):
         self.models_dir = Path(models_dir)
         self.jobs = jobs
+        #: Server-wide default backend; per-model artifacts override it.
+        self.backend = backend
         self._entries: Dict[str, ModelEntry] = {}
         self._stats = {
             "loads": 0,
@@ -416,7 +449,7 @@ class ModelRegistry:
                 summary["kept"].append(key)
                 continue
             try:
-                seen[key] = _load_entry(path, self.jobs)
+                seen[key] = _load_entry(path, self.jobs, self.backend)
             except RegistryError as error:
                 summary["failed"].append(f"{key}: {error}")
                 if old is not None:

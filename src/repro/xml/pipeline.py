@@ -78,6 +78,7 @@ class XMLTransformation:
         documents: Iterable[UTree],
         jobs: Optional[int] = None,
         service: Optional["TransformService"] = None,
+        backend: Optional[str] = None,
     ) -> List[Union[UTree, ReproError]]:
         """Transform a batch of documents; per-document outcomes.
 
@@ -96,7 +97,9 @@ class XMLTransformation:
         created for this call; pass a live ``service`` (built over
         ``self.transducer``) instead to amortize the pool across many
         batches — the streaming path of :meth:`apply_stream` does.
-        Outcomes are identical either way.
+        Outcomes are identical either way.  ``backend`` names the
+        execution backend for the engine path (and for pools created by
+        this call); a live ``service`` carries its own.
         """
         prepared: List[Union[Tuple, ReproError]] = []
         engine_inputs = []
@@ -122,12 +125,14 @@ class XMLTransformation:
         elif jobs is not None and jobs > 1:
             from repro.serve import TransformService
 
-            with TransformService(self.transducer, jobs=jobs) as pool:
+            with TransformService(
+                self.transducer, jobs=jobs, backend=backend
+            ) as pool:
                 raw_outcomes = pool.run_batch_outcomes(engine_inputs)
         else:
-            raw_outcomes = engine_for(self.transducer).run_batch_outcomes(
-                engine_inputs
-            )
+            raw_outcomes = engine_for(
+                self.transducer, backend
+            ).run_batch_outcomes(engine_inputs)
         outcomes = iter(raw_outcomes)
         results: List[Union[UTree, ReproError]] = []
         for entry in prepared:
@@ -163,6 +168,7 @@ class XMLTransformation:
         documents: Iterable[UTree],
         jobs: Optional[int] = None,
         chunk_docs: int = 64,
+        backend: Optional[str] = None,
     ):
         """Transform a document stream incrementally; yields outcomes.
 
@@ -179,16 +185,22 @@ class XMLTransformation:
             if jobs is not None and jobs > 1:
                 from repro.serve import TransformService
 
-                service = TransformService(self.transducer, jobs=jobs)
+                service = TransformService(
+                    self.transducer, jobs=jobs, backend=backend
+                )
             window: List[UTree] = []
             for document in documents:
                 window.append(document)
                 if len(window) >= chunk_docs:
-                    for outcome in self.apply_batch(window, service=service):
+                    for outcome in self.apply_batch(
+                        window, service=service, backend=backend
+                    ):
                         yield outcome
                     window = []
             if window:
-                for outcome in self.apply_batch(window, service=service):
+                for outcome in self.apply_batch(
+                    window, service=service, backend=backend
+                ):
                     yield outcome
         finally:
             if service is not None:

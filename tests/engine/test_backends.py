@@ -1,0 +1,312 @@
+"""The pluggable execution backends (ISSUE 18).
+
+Every registered backend must be observationally identical to the
+dict-driven ``tables`` engine and to the recursive interpreter: same
+outputs, byte-identical :class:`UndefinedTransductionError` messages,
+same ``eval_state`` behavior, and no ``RecursionError`` on deep inputs.
+The registry tests pin the selection precedence (call argument > env >
+default) and the failure mode for unknown or unavailable names; the
+concurrency test is a regression for the double-compile race in
+``engine_for``.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import api
+from repro.engine import (
+    DEFAULT_BACKEND,
+    EngineSet,
+    available_backends,
+    backend_stats,
+    engine_for,
+    get_backend,
+    registered_backends,
+    reset_backend_stats,
+    resolve_backend,
+)
+from repro.engine.backends import ENV_VAR, register_backend, _REGISTRY
+from repro.errors import BackendError, UndefinedTransductionError
+from repro.serve import shard
+from repro.transducers.dtop import DTOP
+from repro.transducers.rhs import rhs_tree
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.generate import monadic_tree, random_tree
+from repro.workloads.families import cycle_relabel, random_total_dtop
+
+ALL_BACKENDS = available_backends()
+
+
+def outcome(run, source):
+    try:
+        return run(source)
+    except UndefinedTransductionError as error:
+        return ("undefined", type(error), str(error))
+
+
+def fresh_partial(seed):
+    machine, _domain = random_total_dtop(num_states=4, seed=seed)
+    rng = random.Random(seed * 31 + 1)
+    kept = {
+        key: rhs for key, rhs in machine.rules.items() if rng.random() > 1 / 3
+    }
+    return DTOP(
+        machine.input_alphabet, machine.output_alphabet, machine.axiom, kept
+    )
+
+
+class TestRegistry:
+    def test_tables_codegen_always_registered(self):
+        assert {"tables", "codegen"} <= set(registered_backends())
+        assert {"tables", "codegen"} <= set(ALL_BACKENDS)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            get_backend("no-such-backend")
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            resolve_backend("no-such-backend")
+
+    def test_unavailable_backend_refused_but_listed(self):
+        register_backend(
+            "broken-test-backend", lambda compiled: None, available=lambda: False
+        )
+        try:
+            assert "broken-test-backend" in registered_backends()
+            assert "broken-test-backend" not in available_backends()
+            with pytest.raises(BackendError, match="unavailable"):
+                get_backend("broken-test-backend")
+        finally:
+            del _REGISTRY["broken-test-backend"]
+
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend() == DEFAULT_BACKEND
+        assert resolve_backend(None, None) == DEFAULT_BACKEND
+        monkeypatch.setenv(ENV_VAR, "codegen")
+        assert resolve_backend() == "codegen"
+        # Any explicit preference outranks the environment.
+        assert resolve_backend("tables") == "tables"
+        assert resolve_backend(None, "tables") == "tables"
+        assert resolve_backend("tables", "codegen") == "tables"
+
+    def test_env_typo_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "tabels")
+        with pytest.raises(BackendError, match="tabels"):
+            resolve_backend()
+
+    def test_engine_for_honors_env(self, monkeypatch):
+        machine, _domain = cycle_relabel(2)
+        monkeypatch.setenv(ENV_VAR, "codegen")
+        assert engine_for(machine).backend == "codegen"
+        assert engine_for(machine, "tables").backend == "tables"
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_total_machine_matches_tables(self, backend, seed):
+        machine, _domain = random_total_dtop(num_states=4, seed=seed)
+        rng = random.Random(seed * 101 + 7)
+        sources = [
+            random_tree(machine.input_alphabet, max_height=7, rng=rng)
+            for _ in range(40)
+        ]
+        engine = engine_for(machine, backend)
+        reference = engine_for(machine, "tables")
+        assert engine.run_batch(sources) == reference.run_batch(sources)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partial_machine_same_outputs_same_errors(self, backend, seed):
+        partial = fresh_partial(seed)
+        reference = fresh_partial(seed)
+        engine = engine_for(partial, backend)
+        rng = random.Random(seed * 7 + 3)
+        sources = [
+            random_tree(partial.input_alphabet, max_height=6, rng=rng)
+            for _ in range(60)
+        ]
+        undefined = 0
+        for source in sources:
+            expected = outcome(reference.apply, source)
+            assert outcome(engine.run, source) == expected
+            if isinstance(expected, tuple):
+                undefined += 1
+        assert undefined > 0  # the workload must exercise failures
+        # Warm re-run: memoized answers must not change outcomes.
+        for source in sources:
+            assert outcome(engine.run, source) == outcome(
+                fresh_partial(seed).apply, source
+            )
+
+    def test_try_run_batch_matches_interpreter(self, backend):
+        partial = fresh_partial(2)
+        reference = fresh_partial(2)
+        rng = random.Random(11)
+        sources = [
+            random_tree(partial.input_alphabet, max_height=6, rng=rng)
+            for _ in range(50)
+        ]
+        assert engine_for(partial, backend).try_run_batch(sources) == [
+            reference.try_apply(source) for source in sources
+        ]
+
+    def test_eval_state_matches_tables(self, backend):
+        machine, _domain = random_total_dtop(num_states=3, seed=5)
+        engine = engine_for(machine, backend)
+        reference = engine_for(machine, "tables")
+        rng = random.Random(5)
+        source = random_tree(machine.input_alphabet, max_height=5, rng=rng)
+        for state in machine.states:
+            assert engine.eval_state(state, source) == reference.eval_state(
+                state, source
+            )
+        with pytest.raises(UndefinedTransductionError) as seen:
+            engine.eval_state("ghost", source)
+        with pytest.raises(UndefinedTransductionError) as expected:
+            reference.eval_state("ghost", source)
+        assert str(seen.value) == str(expected.value)
+
+    def test_depth_100k_no_recursion_error(self, backend):
+        machine, _domain = cycle_relabel(3)
+        deep = monadic_tree(["a"] * 100_000)
+        output = engine_for(machine, backend).run(deep)
+        assert output.height == 100_001
+        assert output.label == "c0"
+
+    def test_deep_failure_propagates_iteratively(self, backend):
+        alphabet = RankedAlphabet({"a": 1, "e": 0})
+        machine = DTOP(
+            alphabet,
+            alphabet,
+            rhs_tree(("q", 0)),
+            {("q", "a"): rhs_tree(("a", ("q", 1)))},
+        )
+        deep = monadic_tree(["a"] * 100_000)
+        engine = engine_for(machine, backend)
+        assert engine.try_run(deep) is None
+        with pytest.raises(
+            UndefinedTransductionError,
+            match="no rule for state 'q' on symbol 'e'",
+        ):
+            engine.run(deep)
+
+    def test_cache_stats_and_clear(self, backend):
+        machine, _domain = cycle_relabel(2)
+        engine = engine_for(machine, backend)
+        engine.run(monadic_tree(["a"] * 10))
+        stats = engine.cache_stats
+        assert stats["backend"] == backend
+        assert stats["entries"] > 0
+        assert stats["misses"] > 0
+        engine.clear_cache()
+        assert engine.cache_stats["entries"] == 0
+        assert engine.memo_size() == 0
+        # Still correct after a cache drop.
+        assert engine.run(monadic_tree(["a"] * 4)) == engine_for(
+            machine, "tables"
+        ).run(monadic_tree(["a"] * 4))
+
+    def test_payload_roundtrip_carries_backend(self, backend):
+        machine, _domain = cycle_relabel(2)
+        compiled = engine_for(machine, "tables").compiled
+        payload = shard.pack_engine(compiled, backend)
+        engine = shard.unpack_engine(payload)
+        assert engine.backend == backend
+        source = monadic_tree(["a"] * 12)
+        assert engine.run(source) == engine_for(machine, "tables").run(source)
+
+
+class TestEngineSet:
+    def test_backends_share_one_compile(self):
+        machine, _domain = cycle_relabel(2)
+        engines = [engine_for(machine, name) for name in ALL_BACKENDS]
+        assert [engine.backend for engine in engines] == ALL_BACKENDS
+        compileds = {id(engine.compiled) for engine in engines}
+        assert len(compileds) == 1
+        assert isinstance(machine._engine, EngineSet)
+
+    def test_clear_caches_drops_every_backend(self):
+        machine, _domain = cycle_relabel(2)
+        source = monadic_tree(["a"] * 10)
+        engines = [engine_for(machine, name) for name in ALL_BACKENDS]
+        for engine in engines:
+            engine.run(source)
+            assert engine.memo_size() > 0
+        machine.clear_caches()
+        for engine in engines:
+            assert engine.memo_size() == 0
+
+    def test_concurrent_first_use_compiles_once(self, monkeypatch):
+        from repro.engine import execute
+
+        machine, _domain = random_total_dtop(num_states=4, seed=3)
+        calls = []
+        real_compile = execute.compile_dtop
+
+        def counting_compile(transducer):
+            calls.append(threading.get_ident())
+            return real_compile(transducer)
+
+        monkeypatch.setattr(execute, "compile_dtop", counting_compile)
+        workers = 8
+        barrier = threading.Barrier(workers)
+        failures = []
+
+        def hammer(index):
+            backend = ALL_BACKENDS[index % len(ALL_BACKENDS)]
+            barrier.wait()
+            try:
+                engine_for(machine, backend)
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert len(calls) == 1
+        # Every backend engine exists and shares the single compile.
+        assert set(machine._engine.engines) == set(ALL_BACKENDS)
+
+
+class TestProcessWideStats:
+    def test_note_batch_surfaces_in_api_cache_stats(self):
+        reset_backend_stats()
+        machine, _domain = cycle_relabel(2)
+        source = monadic_tree(["a"] * 10)
+        for backend in ALL_BACKENDS:
+            api.run(machine, source, backend=backend)
+        stats = backend_stats()
+        for backend in ALL_BACKENDS:
+            assert stats[backend]["batches"] >= 1
+            assert stats[backend]["hits"] + stats[backend]["misses"] > 0
+        assert api.cache_stats()["backends"] == backend_stats()
+        api.clear_caches()
+        assert backend_stats() == {}
+
+
+class TestApiBackendArgument:
+    def test_run_and_batches_accept_backend(self):
+        machine, _domain = cycle_relabel(2)
+        source = monadic_tree(["a"] * 8)
+        expected = api.run(machine, source)
+        for backend in ALL_BACKENDS:
+            assert api.run(machine, source, backend=backend) == expected
+            assert api.run_batch(machine, [source], backend=backend) == [
+                expected
+            ]
+            assert api.try_run_batch(machine, [source], backend=backend) == [
+                expected
+            ]
+
+    def test_unknown_backend_raises_before_running(self):
+        machine, _domain = cycle_relabel(2)
+        with pytest.raises(BackendError):
+            api.run(machine, monadic_tree(["a"]), backend="nope")

@@ -26,7 +26,7 @@ import pytest
 
 from repro import api
 from repro.automata.build import local_dtta_from_trees
-from repro.engine import automaton_engine_for, engine_for
+from repro.engine import automaton_engine_for, available_backends, engine_for
 from repro.errors import (
     InconsistentSampleError,
     InsufficientSampleError,
@@ -37,7 +37,7 @@ from repro.learning.charset import characteristic_sample
 from repro.learning.rpni import rpni_dtop
 from repro.learning.sample import Sample
 from repro.serve import TransformService
-from repro.trees.generate import random_tree
+from repro.trees.generate import monadic_tree, random_tree
 from repro.trees.tree import Tree
 from repro.transducers.minimize import canonicalize
 from repro.workloads.families import random_total_dtop
@@ -109,6 +109,59 @@ def test_execution_paths_byte_identical(seed):
     with TransformService(machine, jobs=2, chunk_size=7) as service:
         parallel = [outcome_bytes(o) for o in service.map(forest)]
     assert parallel == reference
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_every_backend_byte_identical_to_interpreter(seed, backend):
+    """Each registered execution backend vs. interpreter and tables.
+
+    Outputs and ``UndefinedTransductionError`` type + message must be
+    byte-identical per input, on total and genuinely partial machines,
+    cold and warm.
+    """
+    machine, _domain = random_machine(seed)
+    forest = random_forest(machine, seed)
+    reference = [outcome_bytes(o) for o in interpreter_outcomes(machine, forest)]
+    tables = [
+        outcome_bytes(o)
+        for o in engine_for(machine, "tables").run_batch_outcomes(forest)
+    ]
+    assert tables == reference
+
+    engine = engine_for(machine, backend)
+    cold = [outcome_bytes(o) for o in engine.run_batch_outcomes(forest)]
+    assert cold == reference
+    warm = [outcome_bytes(o) for o in engine.run_batch_outcomes(forest)]
+    assert warm == reference
+
+    per_tree = []
+    for source in forest:
+        try:
+            per_tree.append(outcome_bytes(engine.run(source)))
+        except UndefinedTransductionError as error:
+            per_tree.append(outcome_bytes(error))
+    assert per_tree == reference
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_every_backend_survives_depth_100k(backend):
+    """No backend may recurse: depth-100k chains translate or fail cleanly."""
+    machine, _domain = random_machine(0)  # total machine (even seed)
+    deep = monadic_tree(
+        [sorted(machine.input_alphabet.symbols_of_rank(1))[0]] * 100_000
+    )
+    engine = engine_for(machine, backend)
+    tables = engine_for(machine, "tables")
+    try:
+        expected = outcome_bytes(tables.run(deep))
+    except UndefinedTransductionError as error:
+        expected = outcome_bytes(error)
+    try:
+        got = outcome_bytes(engine.run(deep))
+    except UndefinedTransductionError as error:
+        got = outcome_bytes(error)
+    assert got == expected
 
 
 @pytest.mark.parametrize("seed", FUZZ_SEEDS)

@@ -105,12 +105,14 @@ class TestSerializationRoundTrips:
 class TestCacheManagement:
     def test_cache_stats_shape(self):
         stats = api.cache_stats()
-        assert set(stats) == {"intern", "lcp", "sample_tables"}
+        assert set(stats) == {"intern", "lcp", "sample_tables", "backends"}
         for name in ("intern", "lcp"):
             assert "hits" in stats[name] and "misses" in stats[name]
         assert "tables_built" in stats["sample_tables"]
         assert "tables_extended" in stats["sample_tables"]
         assert "signature_hits" in stats["sample_tables"]
+        for counters in stats["backends"].values():
+            assert "hits" in counters and "misses" in counters
 
     def test_clear_caches_runs(self):
         Tree("f", (Tree("a", ()), Tree("a", ())))
