@@ -46,9 +46,11 @@ from repro import serialize as _serialize
 from repro.automata.build import local_dtta_from_trees
 from repro.automata.dtta import DTTA
 from repro.engine import (
+    artifact_stats,
     backend_stats,
     clear_sample_table_caches,
     engine_for,
+    reset_artifact_stats,
     reset_backend_stats,
     sample_tables_stats,
 )
@@ -72,6 +74,7 @@ __all__ = [
     "run_batch",
     "try_run_batch",
     "compose",
+    "fuse",
     "minimize",
     "equivalent",
     "serialize",
@@ -259,6 +262,41 @@ def compose(
     return _compose(_as_dtop(first), _as_dtop(second))
 
 
+def fuse(
+    stages: Iterable[TransducerLike],
+    earliest: bool = False,
+) -> DTOP:
+    """Fold a pipeline of transducers into one single-pass DTOP.
+
+    ``stages`` are listed in application order (the first stage runs
+    first); the result computes ``stage_k(… stage_1(s) …)`` in a single
+    compiled pass instead of K full passes over K-1 intermediate trees —
+    the fused machine then compiles, caches, and serves exactly like any
+    other DTOP.  ``earliest=True`` additionally normalizes the result to
+    the earliest form — identical outputs, usually fewer states, but
+    possibly a *larger* domain (the inspection caveat of
+    :func:`~repro.transducers.compose.compose_chain`).
+
+    Parity contract (pinned by the fuzz suite): wherever the staged
+    chain ``run(stage_k, … run(stage_1, s))`` is defined, the fused
+    machine produces the byte-identical output; where the staged chain
+    is undefined, the fused machine is undefined too up to the
+    deletion/inspection caveat of :mod:`repro.transducers.compose` —
+    for nondeleting stages (and ``earliest=False``) the domains agree
+    exactly.
+
+    >>> from repro.workloads.flip import flip_transducer
+    >>> twice = fuse([flip_transducer(), flip_transducer()], earliest=True)
+    >>> str(run(twice, "root(#, #)"))
+    'root(#, #)'
+    """
+    from repro.transducers.compose import compose_chain
+
+    return compose_chain(
+        [_as_dtop(stage) for stage in stages], earliest=earliest
+    )
+
+
 def serve_forever(
     models_dir: str,
     host: str = "127.0.0.1",
@@ -349,13 +387,17 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     Per-transducer run memos are reported by ``DTOP.cache_stats`` and
     per-sample memos by ``Sample.cache_stats()``.  The ``backends``
     entry breaks batches / hits / misses down by execution backend
-    process-wide (``tables`` / ``codegen`` / ``numpy``).
+    process-wide (``tables`` / ``codegen`` / ``numpy``); the
+    ``engine_artifacts`` entry counts from-scratch compilations against
+    persistent payload hits/misses/writes — a warm artifact cache shows
+    ``compiles == 0`` after a restart.
     """
     return {
         "intern": intern_stats(),
         "lcp": lcp_cache_stats(),
         "sample_tables": sample_tables_stats(),
         "backends": backend_stats(),
+        "engine_artifacts": artifact_stats(),
     }
 
 
@@ -370,3 +412,4 @@ def clear_caches() -> None:
     clear_sample_table_caches()
     clear_learning_memos()
     reset_backend_stats()
+    reset_artifact_stats()

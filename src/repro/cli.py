@@ -49,6 +49,11 @@ Usage (also via ``python -m repro``)::
     python -m repro compose --first clean.json --second render.json \
         --save pipeline.json
 
+    # Fuse a whole pipeline into one single-pass machine (counts go to
+    # stderr; without --save the fused artifact JSON goes to stdout):
+    python -m repro compose --chain clean.json render.json index.json \
+        --earliest --save pipeline.json
+
     # Show a saved transducer as an XSLT-like stylesheet:
     python -m repro show --transform transform.json
 
@@ -97,9 +102,9 @@ def _load_examples(directory: Path) -> List[Tuple[UTree, UTree]]:
     return pairs
 
 
-def save_transformation(transformation: XMLTransformation, path: Path) -> None:
-    """Persist a learned transformation (transducer + DTDs + flags)."""
-    bundle = {
+def transformation_to_bundle(transformation: XMLTransformation) -> dict:
+    """The JSON bundle dict of a transformation (transducer + DTDs + flags)."""
+    return {
         "format": BUNDLE_FORMAT,
         "transducer": dtop_to_data(transformation.transducer),
         "domain": dtta_to_data(transformation.domain),
@@ -114,6 +119,11 @@ def save_transformation(transformation: XMLTransformation, path: Path) -> None:
             "abstract_values": transformation.input_encoder.abstract_values,
         },
     }
+
+
+def save_transformation(transformation: XMLTransformation, path: Path) -> None:
+    """Persist a learned transformation (transducer + DTDs + flags)."""
+    bundle = transformation_to_bundle(transformation)
     path.write_text(json.dumps(bundle, indent=2, ensure_ascii=False))
 
 
@@ -523,36 +533,121 @@ def _cmd_server(args: argparse.Namespace) -> int:
         metrics=args.metrics,
         log_json=args.log_json,
         backend=args.backend,
+        warm=args.warm,
     )
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
-    from repro.transducers.compose import compose
+    """Fuse two (``--first``/``--second``) or N (``--chain``) artifacts.
 
-    first = load_transformation(Path(args.first))
-    second = load_transformation(Path(args.second))
-    if (
-        first.output_encoder.dtd.describe()
-        != second.input_encoder.dtd.describe()
-    ):
-        raise ReproError(
-            "cannot compose: the first transformation's output DTD does "
-            "not match the second's input DTD"
+    Reporting goes to **stderr** (state/rule counts, the save
+    confirmation); stdout carries only the fused artifact's JSON when
+    ``--save`` is omitted, so the command pipes like ``serve --stats``.
+    """
+    from repro.serialize import dumps as serialize_dumps
+    from repro.serialize import from_data as serialize_from_data
+    from repro.transducers.compose import compose_chain
+    from repro.transducers.dtop import DTOP
+
+    if args.chain:
+        if args.first or args.second:
+            raise ReproError(
+                "--chain cannot be combined with --first/--second"
+            )
+        paths = [Path(item) for item in args.chain]
+        if len(paths) < 2:
+            raise ReproError("--chain needs at least two artifacts")
+    else:
+        if not args.first or not args.second:
+            raise ReproError(
+                "compose needs either --chain A B ... or both --first "
+                "and --second"
+            )
+        paths = [Path(args.first), Path(args.second)]
+
+    datas = []
+    kinds = []
+    for path in paths:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise ReproError(f"cannot read {path}: {error}") from None
+        datas.append(data)
+        is_bundle = (
+            isinstance(data, dict) and data.get("format") == BUNDLE_FORMAT
         )
-    transducer = compose(first.transducer, second.transducer)
-    composed = XMLTransformation(
-        transducer=transducer,
-        input_encoder=first.input_encoder,
-        output_encoder=second.output_encoder,
-        domain=first.domain,
-    )
+        kinds.append("xml" if is_bundle else "dtop")
+    if len(set(kinds)) > 1:
+        raise ReproError(
+            "cannot mix transformation bundles and raw transducer "
+            "artifacts in one chain"
+        )
+    labels = [path.name for path in paths]
+
+    if kinds[0] == "xml":
+        transformations = [transformation_from_bundle(d) for d in datas]
+        for index in range(1, len(transformations)):
+            left, right = transformations[index - 1], transformations[index]
+            if (
+                left.output_encoder.dtd.describe()
+                != right.input_encoder.dtd.describe()
+            ):
+                raise ReproError(
+                    f"cannot compose: the output DTD of "
+                    f"{labels[index - 1]} does not match the input DTD "
+                    f"of {labels[index]}"
+                )
+        transducer = compose_chain(
+            [t.transducer for t in transformations],
+            earliest=args.earliest,
+            labels=labels,
+        )
+        composed = XMLTransformation(
+            transducer=transducer,
+            input_encoder=transformations[0].input_encoder,
+            output_encoder=transformations[-1].output_encoder,
+            domain=transformations[0].domain,
+        )
+        print(
+            f"composed {composed.num_states} states / "
+            f"{composed.num_rules} rules",
+            file=sys.stderr,
+        )
+        if args.save:
+            save_transformation(composed, Path(args.save))
+            print(f"saved to {args.save}", file=sys.stderr)
+        else:
+            print(
+                json.dumps(
+                    transformation_to_bundle(composed),
+                    indent=2,
+                    ensure_ascii=False,
+                )
+            )
+        return 0
+
+    machines = []
+    for path, data in zip(paths, datas):
+        try:
+            machine = serialize_from_data(data)
+        except ReproError as error:
+            raise ReproError(f"cannot load {path}: {error}") from None
+        if not isinstance(machine, DTOP):
+            raise ReproError(
+                f"{path} holds a {type(machine).__name__}, not a "
+                f"transducer"
+            )
+        machines.append(machine)
+    fused = compose_chain(machines, earliest=args.earliest, labels=labels)
     print(
-        f"composed {composed.num_states} states / "
-        f"{composed.num_rules} rules"
+        f"composed {len(fused.states)} states / {len(fused.rules)} rules",
+        file=sys.stderr,
     )
     if args.save:
-        save_transformation(composed, Path(args.save))
-        print(f"saved to {args.save}")
+        Path(args.save).write_text(serialize_dumps(fused) + "\n")
+        print(f"saved to {args.save}", file=sys.stderr)
+    else:
+        print(serialize_dumps(fused))
     return 0
 
 
@@ -633,7 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     apply_cmd.add_argument(
         "--backend",
-        help="execution backend (tables/codegen/numpy; default: "
+        help="execution backend (tables/codegen/numpy/auto; default: "
         "$REPRO_BACKEND, then tables)",
     )
     apply_cmd.set_defaults(func=_cmd_apply)
@@ -663,7 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--backend",
-        help="execution backend (tables/codegen/numpy; default: "
+        help="execution backend (tables/codegen/numpy/auto; default: "
         "$REPRO_BACKEND, then tables)",
     )
     serve.set_defaults(func=_cmd_serve)
@@ -726,22 +821,44 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--backend",
         help="server-wide execution backend default (tables/codegen/"
-        "numpy); per-model 'backend' artifact keys override it",
+        "numpy/auto); per-model 'backend' artifact keys override it",
+    )
+    server.add_argument(
+        "--warm",
+        action="store_true",
+        help="precompile or cache-load every model's engine (and "
+        "prestart worker pools) before accepting traffic; with fresh "
+        ".engine sidecars the boot compiles nothing",
     )
     server.set_defaults(func=_cmd_server)
 
     compose_cmd = commands.add_parser(
         "compose",
-        help="compose two saved transformations (first, then second)",
+        help="fuse saved transformations or transducer artifacts into "
+        "one single-pass machine",
     )
     compose_cmd.add_argument(
-        "--first", required=True, help="transformation applied first"
+        "--first", help="transformation applied first"
     )
     compose_cmd.add_argument(
-        "--second", required=True, help="transformation applied second"
+        "--second", help="transformation applied second"
     )
     compose_cmd.add_argument(
-        "--save", help="write the composed transformation here"
+        "--chain",
+        nargs="+",
+        metavar="ARTIFACT",
+        help="fuse a whole pipeline (2+ files, in application order): "
+        "all transformation bundles or all raw repro/dtop@1 artifacts",
+    )
+    compose_cmd.add_argument(
+        "--earliest",
+        action="store_true",
+        help="earliest-normalize the fused machine",
+    )
+    compose_cmd.add_argument(
+        "--save",
+        help="write the composed artifact here (default: the artifact "
+        "JSON on stdout; reporting goes to stderr either way)",
     )
     compose_cmd.set_defaults(func=_cmd_compose)
 

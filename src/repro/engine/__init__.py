@@ -28,6 +28,12 @@ so the compilation never goes stale).  The classic recursive interpreter
 (:meth:`DTOP.apply`, :meth:`DTTA.accepts_from`) remains for origin
 tracking and as the differential-testing reference.
 
+Compilation results persist across processes: :mod:`repro.engine.artifacts`
+stores packed engine payloads as fingerprinted ``.engine`` sidecars next
+to the model JSON, so servers and workers load tables instead of
+recompiling (``compiles`` / ``payload_hits`` counters tell which path
+ran).
+
 The *execute* stage is pluggable: :mod:`repro.engine.backends` registers
 alternative executors over the same compiled tables — ``tables`` (the
 dict-driven default), ``codegen`` (per-machine generated Python), and
@@ -47,7 +53,19 @@ compile the sample (once per sample, extended incrementally)
     :class:`~repro.learning.sample.Sample` remain the reference.
 """
 
+from repro.engine.artifacts import (
+    ARTIFACT_FORMAT,
+    ENGINE_SUFFIX,
+    artifact_stats,
+    attach_payload,
+    engine_path_for,
+    fingerprint_payload,
+    load_engine_artifact,
+    reset_artifact_stats,
+    write_engine_artifact,
+)
 from repro.engine.backends import (
+    AUTO_BACKEND,
     DEFAULT_BACKEND,
     available_backends,
     backend_stats,
@@ -90,6 +108,16 @@ __all__ = [
     "AutomatonEngine",
     "engine_for",
     "automaton_engine_for",
+    "ARTIFACT_FORMAT",
+    "ENGINE_SUFFIX",
+    "artifact_stats",
+    "attach_payload",
+    "engine_path_for",
+    "fingerprint_payload",
+    "load_engine_artifact",
+    "reset_artifact_stats",
+    "write_engine_artifact",
+    "AUTO_BACKEND",
     "DEFAULT_BACKEND",
     "available_backends",
     "backend_stats",

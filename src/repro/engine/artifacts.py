@@ -1,0 +1,221 @@
+"""Persistent compiled-engine artifacts.
+
+Compilation (:func:`~repro.engine.compile.compile_dtop`) is cheap for
+one machine but is paid by *every* process — CLI run, serve worker,
+server replica — on every cold start, and a fused pipeline multiplies
+the cost by its stage count.  This module makes the picklable
+``repro/engine-payload@2`` payloads of :func:`repro.serve.shard.pack_engine`
+first-class on-disk artifacts so a machine is compiled once and loaded
+forever after:
+
+* ``NAME@VERSION.engine`` **sidecars** live next to the model JSON
+  (:func:`engine_path_for`) and hold a pickled
+  ``(format, fingerprint, payload)`` record (:data:`ARTIFACT_FORMAT`).
+* The **content fingerprint** (:func:`fingerprint_payload`) is a sha256
+  over the artifact format, the payload format version, the execution
+  backend name, and the length-prefixed model-JSON bytes (members
+  included for pipelines).  Any change — model content, backend choice,
+  payload layout bump — changes the fingerprint, so a stale sidecar can
+  never be served; :func:`load_engine_artifact` deletes mismatching
+  sidecars best-effort and reports a miss.
+* Writes are **atomic** (:func:`write_engine_artifact`): a tempfile in
+  the destination directory renamed into place with :func:`os.replace`,
+  so concurrent replicas racing on the same models directory each see
+  either the old record or the new one, never a torn file.  A read-only
+  models directory degrades to recompilation, never to an error.
+* :func:`attach_payload` splices a loaded payload onto a live
+  :class:`~repro.transducers.dtop.DTOP` as its shared
+  :class:`~repro.engine.execute.EngineSet`, bypassing compilation.
+
+Process-wide counters (:func:`artifact_stats`) — ``compiles`` is bumped
+by :func:`~repro.engine.compile.compile_dtop` itself — make "the second
+boot compiled zero engines" an assertable fact, surfaced through
+``api.cache_stats()`` and the server's ``stats`` verb.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+#: Version tag of the on-disk sidecar record; bump when the record
+#: layout (not the payload layout — that has its own version) changes.
+ARTIFACT_FORMAT = "repro/engine-artifact@1"
+
+#: Extension of the sidecar files written next to the model JSON.
+ENGINE_SUFFIX = ".engine"
+
+_STATS_LOCK = threading.Lock()
+_STATS: Dict[str, int] = {
+    "compiles": 0,
+    "payload_hits": 0,
+    "payload_misses": 0,
+    "payload_writes": 0,
+    "write_failures": 0,
+}
+
+
+def note_compile() -> None:
+    """Count one from-scratch table compilation (called by ``compile_dtop``)."""
+    with _STATS_LOCK:
+        _STATS["compiles"] += 1
+
+
+def artifact_stats() -> Dict[str, int]:
+    """Process-wide compile/payload counters since the last reset."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_artifact_stats() -> None:
+    """Zero the process-wide compile/payload counters."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def fingerprint_payload(
+    content_chunks: Sequence[bytes], backend: str
+) -> str:
+    """Content fingerprint binding a sidecar to its sources.
+
+    ``content_chunks`` are the raw on-disk bytes the engine was built
+    from — the model JSON, plus every member's JSON for a fused
+    pipeline.  Chunks are length-prefixed (no concatenation collisions)
+    and hashed together with :data:`ARTIFACT_FORMAT`, the engine payload
+    format version, and the execution backend name, so a sidecar is
+    invalidated by *any* of: edited model bytes, a different backend, a
+    payload layout bump, or a sidecar record change.
+    """
+    from repro.serve.shard import PAYLOAD_FORMAT
+
+    digest = hashlib.sha256()
+    for tag in (ARTIFACT_FORMAT, PAYLOAD_FORMAT, backend):
+        digest.update(tag.encode("utf-8"))
+        digest.update(b"\x00")
+    for chunk in content_chunks:
+        digest.update(len(chunk).to_bytes(8, "big"))
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+def engine_path_for(model_path: Union[str, os.PathLike]) -> Path:
+    """The sidecar path for a model file: ``NAME@VERSION.engine``."""
+    return Path(model_path).with_suffix(ENGINE_SUFFIX)
+
+
+def write_engine_artifact(
+    path: Union[str, os.PathLike], fingerprint: str, payload: tuple
+) -> bool:
+    """Atomically persist ``payload`` under ``fingerprint`` at ``path``.
+
+    Best-effort: a read-only or vanished directory returns ``False``
+    (and counts a ``write_failure``) instead of raising — the caller
+    keeps its in-memory engine either way.
+    """
+    path = Path(path)
+    record = pickle.dumps(
+        (ARTIFACT_FORMAT, fingerprint, payload),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    try:
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(record)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        with _STATS_LOCK:
+            _STATS["write_failures"] += 1
+        return False
+    with _STATS_LOCK:
+        _STATS["payload_writes"] += 1
+    return True
+
+
+def load_engine_artifact(
+    path: Union[str, os.PathLike], fingerprint: str
+) -> Optional[tuple]:
+    """The payload stored at ``path``, or ``None`` when unusable.
+
+    Unusable means missing, unreadable, not a pickle, the wrong record
+    format, or a fingerprint mismatch — the last three also delete the
+    sidecar best-effort so stale records don't linger.  Every outcome is
+    counted (``payload_hits`` / ``payload_misses``).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        with _STATS_LOCK:
+            _STATS["payload_misses"] += 1
+        return None
+    record = None
+    try:
+        record = pickle.loads(raw)
+    except Exception:
+        pass
+    if (
+        not isinstance(record, tuple)
+        or len(record) != 3
+        or record[0] != ARTIFACT_FORMAT
+        or record[1] != fingerprint
+    ):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        with _STATS_LOCK:
+            _STATS["payload_misses"] += 1
+        return None
+    with _STATS_LOCK:
+        _STATS["payload_hits"] += 1
+    return record[2]
+
+
+def attach_payload(machine, payload: tuple) -> str:
+    """Adopt a loaded payload as ``machine``'s compiled engine tables.
+
+    Rebuilds the :class:`~repro.engine.compile.CompiledDTOP` from the
+    payload (no compilation), points it back at ``machine`` as its
+    source, and installs it on the machine's ``_engine`` slot — the same
+    slot :func:`~repro.engine.execute.engine_for` fills lazily, so every
+    later caller shares it.  A machine that already has an engine set
+    keeps it.  Returns the payload's backend name.
+    """
+    from repro.engine.execute import _COMPILE_LOCK, EngineSet
+    from repro.serve.shard import unpack_compiled
+
+    compiled, backend = unpack_compiled(payload)
+    compiled.source = machine
+    with _COMPILE_LOCK:
+        if machine._engine is None:
+            machine._engine = EngineSet(compiled)
+    return backend
+
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ENGINE_SUFFIX",
+    "artifact_stats",
+    "attach_payload",
+    "engine_path_for",
+    "fingerprint_payload",
+    "load_engine_artifact",
+    "note_compile",
+    "reset_artifact_stats",
+    "write_engine_artifact",
+]

@@ -25,6 +25,13 @@ argument > model artifact ``"backend"`` key > ``REPRO_BACKEND`` in the
 environment > :data:`DEFAULT_BACKEND`.  :func:`get_backend` raises
 :class:`~repro.errors.BackendError` for unknown or unavailable names.
 
+The pseudo-name ``auto`` (:data:`AUTO_BACKEND`) resolves to the fastest
+cold-path backend actually present: ``codegen`` when registered and
+available, otherwise :data:`DEFAULT_BACKEND`.  It deliberately never
+selects ``numpy`` — the per-height vectorized sweeps only pay off on
+warm repeated batches (``BENCH_backend.json`` measured 0.68× on cold
+single-pass work).
+
 Every backend engine reports its per-batch hit/miss counters here
 (:func:`note_batch`), so :func:`backend_stats` shows which backend served
 what process-wide — surfaced by ``api.cache_stats()`` and the server's
@@ -44,6 +51,11 @@ DEFAULT_BACKEND = "tables"
 
 #: Environment variable consulted by :func:`resolve_backend`.
 ENV_VAR = "REPRO_BACKEND"
+
+#: Pseudo-name resolved by :func:`resolve_backend` to the fastest
+#: available cold-path backend (``codegen`` > :data:`DEFAULT_BACKEND`;
+#: never ``numpy``).
+AUTO_BACKEND = "auto"
 
 BackendFactory = Callable[[object], object]  # CompiledDTOP → engine
 
@@ -133,6 +145,16 @@ def resolve_backend(*preferences: Optional[str]) -> str:
             break
     if name is None:
         name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    if name == AUTO_BACKEND:
+        # Fastest cold-path backend present.  Never numpy: its
+        # per-height sweeps lose on cold single-pass work (0.68× in
+        # BENCH_backend.json), which is exactly what `auto` callers run.
+        codegen = _REGISTRY.get("codegen")
+        name = (
+            "codegen"
+            if codegen is not None and codegen.available()
+            else DEFAULT_BACKEND
+        )
     get_backend(name)  # validate; raises BackendError when bad
     return name
 
@@ -210,6 +232,7 @@ register_backend(
 )
 
 __all__ = [
+    "AUTO_BACKEND",
     "DEFAULT_BACKEND",
     "ENV_VAR",
     "available_backends",

@@ -169,6 +169,9 @@ def compile_dtop(transducer: "DTOP") -> CompiledDTOP:
     Deterministic: ids are assigned in sorted (``repr``) order, so equal
     machines compile to equal tables.
     """
+    from repro.engine.artifacts import note_compile
+
+    note_compile()
     compiled = object.__new__(CompiledDTOP)
     compiled.source = transducer
     state_names = sorted(transducer.states, key=repr)

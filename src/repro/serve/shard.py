@@ -168,12 +168,13 @@ def pack_engine(
     )
 
 
-def unpack_engine(payload: tuple) -> Engine:
-    """Rebuild a fresh engine from a :func:`pack_engine` payload.
+def unpack_compiled(payload: tuple) -> Tuple[CompiledDTOP, str]:
+    """Rebuild the compiled tables of a :func:`pack_engine` payload.
 
-    The payload's backend field decides which execution backend the
-    engine is built on (workers honor the parent's choice); the return
-    value implements the full engine surface whichever backend wins.
+    Returns ``(compiled, backend)`` without instantiating an engine —
+    the artifact-cache layer attaches the tables to a live machine and
+    picks the engine itself.  ``compiled.source`` is ``None``; callers
+    that hold the source transducer may set it.
     """
     if not payload or payload[0] != PAYLOAD_FORMAT:
         raise ServiceError(f"not a {PAYLOAD_FORMAT} payload")
@@ -214,6 +215,17 @@ def unpack_engine(payload: tuple) -> Engine:
     compiled.rule_templates = [restore(t) for t in rule_templates]
     compiled.axiom_calls = axiom_calls
     compiled.axiom_template = restore(axiom_template)
+    return compiled, backend
+
+
+def unpack_engine(payload: tuple) -> Engine:
+    """Rebuild a fresh engine from a :func:`pack_engine` payload.
+
+    The payload's backend field decides which execution backend the
+    engine is built on (workers honor the parent's choice); the return
+    value implements the full engine surface whichever backend wins.
+    """
+    compiled, backend = unpack_compiled(payload)
     return get_backend(backend)(compiled)
 
 

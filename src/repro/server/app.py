@@ -63,7 +63,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.engine import backend_stats
+from repro.engine import artifact_stats, backend_stats
 from repro.errors import (
     OverloadedError,
     RegistryError,
@@ -241,6 +241,7 @@ class TransformServer:
             "batcher": self.batcher.stats,
             "models": self.registry.describe(),
             "backends": backend_stats(),
+            "engine_artifacts": artifact_stats(),
         }
         if self.supervisor is not None:
             snapshot["supervisor"] = self.supervisor.stats
@@ -755,6 +756,7 @@ def serve_forever(
     metrics: bool = False,
     log_json: bool = False,
     backend: Optional[str] = None,
+    warm: bool = False,
 ) -> int:
     """Run a transformation server until SIGINT/SIGTERM; returns 0.
 
@@ -772,9 +774,22 @@ def serve_forever(
     startup, reload outcomes, shard crashes/restarts/quarantines,
     shutdown — to stderr.  ``backend`` (CLI ``--backend``) sets the
     server-wide execution backend default; per-model ``"backend"``
-    artifact keys still win.
+    artifact keys still win.  ``warm=True`` (CLI ``--warm``)
+    precompiles or cache-loads every model's engine — and prestarts the
+    sharded pools — *before* the socket opens, so the first request
+    never pays compilation; with fresh ``.engine`` sidecars the boot
+    compiles nothing (the banner reports the split).
     """
     registry = ModelRegistry(models_dir, jobs=jobs, backend=backend)
+    if warm:
+        warmed = registry.warm()
+        print(
+            f"repro server warmed {warmed['warmed']} engines "
+            f"({warmed['from_cache']} from artifact cache, "
+            f"{warmed['compiled']} compiled)",
+            file=sys.stderr,
+            flush=True,
+        )
     server = TransformServer(
         registry,
         host=host,
@@ -844,6 +859,7 @@ class ServerThread:
         self._models_dir = models_dir
         self._jobs = server_kwargs.pop("jobs", None)
         self._backend = server_kwargs.pop("backend", None)
+        self._warm = server_kwargs.pop("warm", False)
         self._server_kwargs = server_kwargs
         self._ready = threading.Event()
         self._failure: Optional[BaseException] = None
@@ -870,6 +886,8 @@ class ServerThread:
             self._failure = error
             self._ready.set()
             return
+        if self._warm:
+            registry.warm()
 
         async def _main() -> None:
             self.server = TransformServer(registry, **self._server_kwargs)

@@ -1,14 +1,28 @@
 """The model registry: named, versioned transformations loaded from disk.
 
-A registry watches one directory of JSON artifacts.  Two artifact kinds
-are served:
+A registry watches one directory of JSON artifacts.  Three artifact
+kinds are served:
 
 * ``repro/dtop@1`` documents (written by :func:`repro.api.save`) — raw
   transducers over ranked trees; request documents use the paper's term
   syntax (``"f(a, g(b))"``) and results render the same way;
 * ``repro/xml-transformation@1`` bundles (written by ``repro learn
   --save``) — end-to-end XML transformations; request documents are XML
-  and results render as XML.
+  and results render as XML;
+* ``repro/pipeline@1`` pipelines — ``{"format": …, "stages": [ref, …]}``
+  where each ref names a sibling ``repro/dtop@1`` model (``NAME`` or
+  ``NAME@VERSION``); the stages are fused through
+  :func:`~repro.transducers.compose.compose_chain` at load into one
+  single-pass machine (optional ``"earliest": true`` normalizes it).
+  A changed member file retires the pipeline entry on reload exactly
+  like a change to the pipeline file itself.
+
+Compiled engines persist across processes: every entry carries a
+fingerprinted ``NAME@VERSION.engine`` sidecar
+(:mod:`repro.engine.artifacts`) that is adopted at load when fresh and
+written after the first compilation otherwise, so a restarted server
+compiles nothing (``repro server --warm`` makes that happen before the
+socket opens).
 
 Naming: ``NAME@VERSION.json`` registers the model under ``NAME@VERSION``;
 ``NAME.json`` is shorthand for version ``1``.  :meth:`ModelRegistry.get`
@@ -45,16 +59,28 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.engine import engine_for, resolve_backend
+from repro.engine import (
+    attach_payload,
+    engine_for,
+    engine_path_for,
+    fingerprint_payload,
+    load_engine_artifact,
+    resolve_backend,
+    write_engine_artifact,
+)
 from repro.errors import (
     BackendError,
     ModelNotFoundError,
     RegistryError,
     ReproError,
     ServiceError,
+    TransducerError,
 )
+from repro.serialize import dumps as serialize_dumps
 from repro.serialize import from_data as serialize_from_data
+from repro.serialize import loads as serialize_loads
 from repro.trees.tree import Tree, parse_term
+from repro.transducers.compose import compose_chain
 from repro.transducers.dtop import DTOP
 from repro.xml.unranked import UTree
 from repro.xml.xmlio import parse_xml, serialize_xml
@@ -65,6 +91,9 @@ KIND_XML = "xml"
 
 #: Bundle format written by ``repro learn --save`` (see ``repro.cli``).
 XML_BUNDLE_FORMAT = "repro/xml-transformation@1"
+
+#: Pipeline artifact: a JSON list of member model refs fused at load.
+PIPELINE_FORMAT = "repro/pipeline@1"
 
 
 def _version_key(version: str) -> Tuple:
@@ -111,6 +140,11 @@ class ModelEntry:
         jobs: Optional[int] = None,
         fingerprint: Optional[Tuple[int, int]] = None,
         backend: Optional[str] = None,
+        engine_fingerprint: Optional[str] = None,
+        member_fingerprints: Optional[
+            List[Tuple[Path, Tuple[int, int]]]
+        ] = None,
+        members: Optional[List[str]] = None,
     ):
         self.name = name
         self.version = version
@@ -122,16 +156,138 @@ class ModelEntry:
         self.fingerprint = fingerprint
         #: Resolved execution backend name this model serves on.
         self.backend = backend if backend is not None else resolve_backend()
+        #: Content fingerprint binding the ``.engine`` sidecar to this
+        #: model's bytes + backend; ``None`` disables persistence.
+        self.engine_fingerprint = engine_fingerprint
+        #: For pipelines: the member files (and their stat fingerprints)
+        #: the fused machine was built from — reload freshness includes
+        #: them.
+        self.member_fingerprints = member_fingerprints or []
+        #: For pipelines: the member refs, for ``describe()``.
+        self.members = members
         self.requests = 0
         self._service = None
         self._refs = 0
         self._retired = False
         self._closed = False
         self._quarantined = False
+        self._engine_cached = False
+        self._engine_saved = False
 
     @property
     def key(self) -> str:
         return f"{self.name}@{self.version}"
+
+    # -- persistent compiled engine -------------------------------------
+
+    @property
+    def engine_cache_path(self) -> Path:
+        """The ``NAME@VERSION.engine`` sidecar next to the model JSON."""
+        return engine_path_for(self.path)
+
+    @property
+    def engine_cached(self) -> bool:
+        """Whether this entry's engine came from the artifact cache."""
+        return self._engine_cached
+
+    def bind_engine_cache(self) -> bool:
+        """Adopt the on-disk compiled payload when it is fresh.
+
+        Called once at load time: a sidecar whose fingerprint matches
+        the model bytes + backend is attached as the machine's compiled
+        engine, so neither the first request nor ``warm()`` compiles
+        anything.  A missing/stale sidecar is a plain miss — the entry
+        compiles lazily and :meth:`ensure_engine` rewrites the sidecar.
+
+        Pipelines never come here — their recovery (machine *and*
+        payload) runs before the entry exists, in ``_recover_or_fuse``;
+        the loader calls :meth:`adopt_recovered_engine` instead.
+        """
+        if self.engine_fingerprint is None or self.members is not None:
+            return False
+        payload = load_engine_artifact(
+            self.engine_cache_path, self.engine_fingerprint
+        )
+        if payload is None:
+            return False
+        try:
+            attach_payload(self.machine, payload)
+        except Exception:
+            # A payload that unpickled but does not decode (e.g. written
+            # by a future payload layout) degrades to compilation.
+            return False
+        self._engine_cached = True
+        self._engine_saved = True  # disk already holds this record
+        return True
+
+    def adopt_recovered_engine(self) -> None:
+        """Record that the loader recovered machine + engine from disk.
+
+        Pipelines recover *before* the entry is constructed (the fused
+        machine itself lives in the sidecar), so the loader marks the
+        entry afterwards instead of going through
+        :meth:`bind_engine_cache`.
+        """
+        self._engine_cached = True
+        self._engine_saved = True
+
+    def ensure_engine(self):
+        """The entry's in-process engine; persists the sidecar once.
+
+        Compiles on first use unless :meth:`bind_engine_cache` already
+        attached the payload; after the tables exist (either way) the
+        ``.engine`` sidecar is written exactly once per entry lifetime —
+        atomically, best-effort (a read-only models directory just keeps
+        recompiling on future boots).
+        """
+        engine = engine_for(self.machine, self.backend)
+        if not self._engine_saved and self.engine_fingerprint is not None:
+            from repro.serve.shard import pack_engine
+
+            payload = pack_engine(
+                self.machine._engine.compiled, self.backend
+            )
+            if self.members is not None:
+                # Pipeline sidecars also persist the fused machine, so
+                # the next boot skips the product construction too.
+                payload = (serialize_dumps(self.machine), payload)
+            write_engine_artifact(
+                self.engine_cache_path, self.engine_fingerprint, payload
+            )
+            # One attempt per entry: a failed write (counted in
+            # artifact_stats) must not re-run on every batch.
+            self._engine_saved = True
+        return engine
+
+    def warm(self) -> bool:
+        """Precompile/load this entry before it serves traffic.
+
+        Ensures the in-process engine (from the artifact cache when
+        possible) and prestarts + warms the sharded worker pool for
+        ``jobs > 1`` entries.  Returns whether the engine came from the
+        artifact cache rather than a fresh compilation.
+        """
+        self.ensure_engine()
+        service = self.service()
+        if service is not None:
+            service.warm()
+        return self._engine_cached
+
+    def members_fresh(self) -> bool:
+        """Whether every member file still matches its load-time stat.
+
+        Entries without members (plain models) are vacuously fresh; a
+        pipeline whose member changed on disk must reload even though
+        the pipeline file's own stat is unchanged.
+        """
+        for member_path, stat_fingerprint in self.member_fingerprints:
+            try:
+                stat = member_path.stat()
+            except OSError:
+                return False
+            if (stat.st_mtime_ns, stat.st_size) != stat_fingerprint:
+                return False
+        return True
 
     # -- lifecycle ------------------------------------------------------
 
@@ -267,6 +423,7 @@ class ModelEntry:
         ``XMLTransformation.apply_batch`` both report per document).
         """
         self.requests += len(documents)
+        engine = self.ensure_engine()
         service = self.service()
         if self.kind == KIND_XML:
             return self.transformation.apply_batch(
@@ -274,9 +431,7 @@ class ModelEntry:
             )
         if service is not None:
             return service.run_batch_outcomes(documents)
-        return engine_for(self.machine, self.backend).run_batch_outcomes(
-            documents
-        )
+        return engine.run_batch_outcomes(documents)
 
     def describe(self) -> Dict[str, object]:
         info = {
@@ -288,12 +443,155 @@ class ModelEntry:
             "states": len(self.machine.states),
             "rules": len(self.machine.rules),
             "requests": self.requests,
+            "engine_cached": self._engine_cached,
         }
+        if self.members is not None:
+            info["members"] = list(self.members)
         if self._quarantined:
             info["quarantined"] = True
         if self._service is not None:
             info["service"] = self._service.stats
         return info
+
+
+def _resolve_member_path(directory: Path, ref: str) -> Path:
+    """Resolve a pipeline member ref to its model file.
+
+    ``NAME@VERSION`` is exact; a bare ``NAME`` picks the highest
+    version, mirroring :meth:`ModelRegistry.get`.
+    """
+    if "@" in ref:
+        candidate = directory / f"{ref}.json"
+        if not candidate.is_file():
+            raise RegistryError(
+                f"pipeline member {ref!r} not found "
+                f"({candidate.name} missing)"
+            )
+        return candidate
+    candidates: List[Tuple[Path, str]] = []
+    for path in directory.glob("*.json"):
+        try:
+            name, version = _parse_model_filename(path)
+        except RegistryError:
+            continue
+        if name == ref:
+            candidates.append((path, version))
+    if not candidates:
+        raise RegistryError(
+            f"pipeline member {ref!r} not found in {directory}"
+        )
+    return max(candidates, key=lambda pv: _version_key(pv[1]))[0]
+
+
+def _read_pipeline_members(
+    path: Path, data: dict
+) -> Tuple[
+    List[DTOP],
+    List[bytes],
+    List[Tuple[Path, Tuple[int, int]]],
+    List[str],
+    List[str],
+]:
+    """Read (not fuse) a ``repro/pipeline@1`` artifact's member stages.
+
+    Returns ``(member machines, member raw bytes, member stat
+    fingerprints, member refs, member labels)`` — the bytes feed the
+    engine fingerprint, the stat fingerprints feed reload freshness,
+    the labels name stages in fusion errors.
+    """
+    stages = data.get("stages")
+    if (
+        not isinstance(stages, list)
+        or not stages
+        or not all(isinstance(ref, str) for ref in stages)
+    ):
+        raise RegistryError(
+            f"a {PIPELINE_FORMAT} artifact needs a non-empty "
+            f"'stages' list of model refs (NAME or NAME@VERSION)"
+        )
+    machines: List[DTOP] = []
+    member_bytes: List[bytes] = []
+    member_fingerprints: List[Tuple[Path, Tuple[int, int]]] = []
+    labels: List[str] = []
+    for ref in stages:
+        member_path = _resolve_member_path(path.parent, ref)
+        if member_path == path:
+            raise RegistryError(
+                f"pipeline member {ref!r} refers to the pipeline itself"
+            )
+        try:
+            member_stat = member_path.stat()
+            raw = member_path.read_bytes()
+            member_data = json.loads(raw.decode("utf-8"))
+        except (OSError, ValueError) as error:
+            raise RegistryError(
+                f"cannot read pipeline member {member_path.name}: {error}"
+            ) from None
+        member_format = (
+            member_data.get("format")
+            if isinstance(member_data, dict)
+            else None
+        )
+        if member_format == PIPELINE_FORMAT:
+            raise RegistryError(
+                f"pipeline member {member_path.name} is itself a "
+                f"pipeline; nesting is not supported"
+            )
+        try:
+            machine = serialize_from_data(member_data)
+        except ReproError as error:
+            raise RegistryError(
+                f"cannot load pipeline member {member_path.name}: {error}"
+            ) from None
+        if not isinstance(machine, DTOP):
+            raise RegistryError(
+                f"pipeline member {member_path.name} holds a "
+                f"{type(machine).__name__}, not a transducer"
+            )
+        machines.append(machine)
+        member_bytes.append(raw)
+        member_fingerprints.append(
+            (member_path, (member_stat.st_mtime_ns, member_stat.st_size))
+        )
+        labels.append(member_path.name)
+    return machines, member_bytes, member_fingerprints, list(stages), labels
+
+
+def _recover_or_fuse(
+    path: Path,
+    data: dict,
+    machines: List[DTOP],
+    labels: List[str],
+    engine_fingerprint: str,
+) -> Tuple[DTOP, bool]:
+    """The fused machine of a pipeline; sidecar-recovered when fresh.
+
+    A pipeline's ``.engine`` sidecar stores ``(fused-machine JSON,
+    engine payload)``: recovering both skips the product construction,
+    the earliest normalization (which itself compiles an intermediate
+    machine), *and* the final compilation — a warm boot does zero
+    fusion work per pipeline.  Returns ``(machine, recovered)``; on a
+    miss the members are fused from scratch.
+    """
+    record = load_engine_artifact(engine_path_for(path), engine_fingerprint)
+    if isinstance(record, tuple) and len(record) == 2:
+        fused_json, payload = record
+        try:
+            machine = serialize_loads(fused_json)
+            if isinstance(machine, DTOP):
+                attach_payload(machine, payload)
+                return machine, True
+        except Exception:
+            pass  # unreadable recovery record: fall through and fuse
+    try:
+        fused = compose_chain(
+            machines,
+            earliest=bool(data.get("earliest", False)),
+            labels=labels,
+        )
+    except TransducerError as error:
+        raise RegistryError(str(error)) from None
+    return fused, False
 
 
 def _load_entry(
@@ -305,9 +603,11 @@ def _load_entry(
     # One read, one JSON parse; the loaders below work on the parsed
     # data (a large bundle must not be read and parsed twice per reload,
     # and a single read narrows the window for catching a mid-write
-    # file whose fingerprint no longer matches its content).
+    # file whose fingerprint no longer matches its content).  The raw
+    # bytes also feed the engine-artifact content fingerprint.
     try:
-        data = json.loads(path.read_text())
+        raw_bytes = path.read_bytes()
+        data = json.loads(raw_bytes.decode("utf-8"))
     except (OSError, ValueError) as error:
         raise RegistryError(f"cannot read model {path.name}: {error}") from None
     # Per-model backend pin: an artifact's "backend" key beats the
@@ -323,6 +623,13 @@ def _load_entry(
             f"cannot load model {path.name}: {error}"
         ) from None
     format_key = data.get("format") if isinstance(data, dict) else None
+    content_chunks = [raw_bytes]
+    member_fingerprints: List[Tuple[Path, Tuple[int, int]]] = []
+    members: Optional[List[str]] = None
+    transformation = None
+    kind = KIND_DTOP
+    engine_fingerprint: Optional[str] = None
+    recovered = False
     if format_key == XML_BUNDLE_FORMAT:
         from repro.cli import transformation_from_bundle
 
@@ -332,32 +639,55 @@ def _load_entry(
             raise RegistryError(
                 f"cannot load model {path.name}: {error}"
             ) from None
-        return ModelEntry(
-            name,
-            version,
-            path,
-            KIND_XML,
-            transformation.transducer,
-            transformation=transformation,
-            jobs=jobs,
-            fingerprint=fingerprint,
-            backend=backend,
-        )
-    try:
-        machine = serialize_from_data(data)
-    except ReproError as error:
-        raise RegistryError(
-            f"cannot load model {path.name}: {error}"
-        ) from None
-    if not isinstance(machine, DTOP):
-        raise RegistryError(
-            f"model {path.name} holds a "
-            f"{type(machine).__name__}, not a transducer"
-        )
-    return ModelEntry(
-        name, version, path, KIND_DTOP, machine, jobs=jobs,
-        fingerprint=fingerprint, backend=backend,
+        machine = transformation.transducer
+        kind = KIND_XML
+    elif format_key == PIPELINE_FORMAT:
+        try:
+            machines, member_bytes, member_fingerprints, members, labels = (
+                _read_pipeline_members(path, data)
+            )
+            content_chunks.extend(member_bytes)
+            engine_fingerprint = fingerprint_payload(content_chunks, backend)
+            machine, recovered = _recover_or_fuse(
+                path, data, machines, labels, engine_fingerprint
+            )
+        except RegistryError as error:
+            raise RegistryError(
+                f"cannot load model {path.name}: {error}"
+            ) from None
+    else:
+        try:
+            machine = serialize_from_data(data)
+        except ReproError as error:
+            raise RegistryError(
+                f"cannot load model {path.name}: {error}"
+            ) from None
+        if not isinstance(machine, DTOP):
+            raise RegistryError(
+                f"model {path.name} holds a "
+                f"{type(machine).__name__}, not a transducer"
+            )
+    if engine_fingerprint is None:
+        engine_fingerprint = fingerprint_payload(content_chunks, backend)
+    entry = ModelEntry(
+        name,
+        version,
+        path,
+        kind,
+        machine,
+        transformation=transformation,
+        jobs=jobs,
+        fingerprint=fingerprint,
+        backend=backend,
+        engine_fingerprint=engine_fingerprint,
+        member_fingerprints=member_fingerprints,
+        members=members,
     )
+    if members is None:
+        entry.bind_engine_cache()
+    elif recovered:
+        entry.adopt_recovered_engine()
+    return entry
 
 
 class ModelRegistry:
@@ -441,9 +771,10 @@ class ModelRegistry:
                 )
             old = self._entries.get(key)
             stat = path.stat()
-            if old is not None and old.fingerprint == (
-                stat.st_mtime_ns,
-                stat.st_size,
+            if (
+                old is not None
+                and old.fingerprint == (stat.st_mtime_ns, stat.st_size)
+                and old.members_fresh()
             ):
                 seen[key] = old
                 summary["kept"].append(key)
@@ -474,6 +805,28 @@ class ModelRegistry:
         for old in to_retire:
             old.retire()
         return summary
+
+    def warm(self) -> Dict[str, int]:
+        """Precompile or cache-load every entry before serving traffic.
+
+        Drives :meth:`ModelEntry.warm` over the whole table (engines
+        attached, sidecars written, sharded pools prestarted) and
+        reports ``{"warmed", "from_cache", "compiled"}`` — against a
+        fresh sidecar set, ``compiled == 0``.
+        """
+        if self._closed:
+            raise RegistryError("registry is closed")
+        warmed = 0
+        from_cache = 0
+        for key in self.keys():
+            if self._entries[key].warm():
+                from_cache += 1
+            warmed += 1
+        return {
+            "warmed": warmed,
+            "from_cache": from_cache,
+            "compiled": warmed - from_cache,
+        }
 
     # -- resolution -----------------------------------------------------
 

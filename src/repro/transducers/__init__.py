@@ -9,7 +9,7 @@ semantics, its implicit domain automaton, the *earliest* normal form
 """
 
 from repro.transducers.rhs import Call, calls_in, rhs_tree, is_call, is_pure
-from repro.transducers.compose import compose
+from repro.transducers.compose import compose, compose_chain
 from repro.transducers.dtop import DTOP
 from repro.transducers.run import run_stopped, reaches, state_sequence
 from repro.transducers.domain import domain_dtta, effective_domain
@@ -28,6 +28,7 @@ __all__ = [
     "is_call",
     "is_pure",
     "compose",
+    "compose_chain",
     "DTOP",
     "run_stopped",
     "reaches",

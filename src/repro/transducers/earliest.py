@@ -367,6 +367,19 @@ def to_earliest(
     """
     if domain is None or not domain_is_effective:
         domain = effective_domain(transducer, domain)
+    if not domain.transitions:
+        # ``dom([[M]]|L(domain))`` is empty (a trim DTTA with no
+        # transitions accepts nothing): there is no witness tree to
+        # seed the out-table from, and nothing to be early *on*.  The
+        # earliest machine is the nowhere-defined one — a single
+        # rule-less state — trivially satisfying (C1)/(C2) on ∅.
+        nowhere = DTOP(
+            transducer.input_alphabet,
+            transducer.output_alphabet,
+            Tree(Call("e0", 0), ()),
+            {},
+        )
+        return nowhere, domain, {"e0": EState(None, domain.initial, ())}
     table = out_table(transducer, domain)
 
     names: Dict[EState, StateName] = {}

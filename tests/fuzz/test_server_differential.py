@@ -11,6 +11,7 @@ harness; one server instance hosts every seed's model, so the sweep
 cost stays dominated by the requests, not by server boots.
 """
 
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -26,6 +27,11 @@ from tests.fuzz.test_differential import (
     outcome_bytes,
     random_forest,
     random_machine,
+)
+from tests.fuzz.test_fusion_differential import (
+    chain_forest,
+    random_chain,
+    staged_outcome,
 )
 
 #: Concurrent blocking clients replaying the corpus.
@@ -126,6 +132,36 @@ def test_server_replay_survives_hot_reloads(corpus, tmp_path):
                 path.write_text(text)
                 summary = client.reload()
                 assert f"m{victim}@1" in summary["reloaded"]
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_served_pipeline_matches_staged_local_runs(seed, tmp_path):
+    """A served ``repro/pipeline@1`` model is byte-identical to running
+    its member stages locally, one after the other, wherever the staged
+    chain is defined."""
+    stages = random_chain(seed, length=3, partial=True)
+    refs = []
+    for index, stage in enumerate(stages):
+        name = f"stage{index}"
+        api.save(stage, str(tmp_path / f"{name}@1.json"))
+        refs.append(f"{name}@1")
+    (tmp_path / f"chain{seed}@1.json").write_text(
+        json.dumps({"format": "repro/pipeline@1", "stages": refs})
+    )
+    forest = chain_forest(seed, count=12)
+    with ServerThread(tmp_path) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            models = {m["model"]: m for m in client.stats()["models"]}
+            assert models[f"chain{seed}@1"]["members"] == refs
+            for document in forest:
+                staged = staged_outcome(stages, document)
+                remote = client.try_transform(f"chain{seed}", str(document))
+                if isinstance(staged, UndefinedTransductionError):
+                    # Fused domains may be strictly larger on deleting
+                    # chains; equality of outputs is only promised where
+                    # the staged chain is defined.
+                    continue
+                assert remote_outcome_bytes(remote) == ("tree", str(staged))
 
 
 def test_server_and_local_error_objects_interchange(corpus):

@@ -1,0 +1,181 @@
+"""Warm boots, engine sidecars, and ``repro/pipeline@1`` artifacts.
+
+The registry half of ISSUE 19: a first boot compiles and persists
+``.engine`` sidecars next to the model JSON; a second boot against the
+same directory loads every engine from disk and compiles **nothing**
+(``artifact_stats()["compiles"] == 0`` — asserted over the wire too);
+editing a model or a pipeline member invalidates exactly the affected
+entries.  Pipeline artifacts fuse their member stages at load, recover
+the fused machine from the sidecar on later boots, and reject malformed
+chains (nesting, self-reference, incompatible links) with errors naming
+the culprit.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import api
+from repro.engine import ENGINE_SUFFIX, artifact_stats, reset_artifact_stats
+from repro.errors import RegistryError
+from repro.server import ServerClient, ServerThread
+from repro.server.registry import PIPELINE_FORMAT, ModelRegistry
+from repro.trees.alphabet import RankedAlphabet
+from repro.workloads.flip import FLIP_ALPHABET, flip_input, flip_transducer
+
+from tests.server.conftest import identity_dtop
+
+
+@pytest.fixture(autouse=True)
+def clean_counters():
+    reset_artifact_stats()
+    yield
+    reset_artifact_stats()
+
+
+def write_pipeline(directory, name, stages, **extra):
+    data = {"format": PIPELINE_FORMAT, "stages": stages}
+    data.update(extra)
+    (directory / f"{name}.json").write_text(json.dumps(data))
+
+
+class TestWarmBoot:
+    def test_first_boot_writes_sidecars(self, models_dir):
+        with ModelRegistry(models_dir) as registry:
+            summary = registry.warm()
+        assert summary["warmed"] == 2
+        assert summary["compiled"] == 2 and summary["from_cache"] == 0
+        assert (models_dir / ("flip@1" + ENGINE_SUFFIX)).exists()
+        assert (models_dir / ("xmlflip@1" + ENGINE_SUFFIX)).exists()
+        assert artifact_stats()["payload_writes"] == 2
+
+    def test_second_boot_compiles_nothing(self, models_dir):
+        with ModelRegistry(models_dir) as registry:
+            registry.warm()
+        reset_artifact_stats()
+        with ModelRegistry(models_dir) as registry:
+            summary = registry.warm()
+            assert summary == {"warmed": 2, "from_cache": 2, "compiled": 0}
+            assert artifact_stats()["compiles"] == 0
+            document = flip_input(1, 1)
+            served = registry.get("flip@1").run_batch([document])[0]
+            # Reference via the recursive interpreter: no compilation.
+            assert str(served) == str(flip_transducer().apply(document))
+        # Serving from the recovered engine still compiles nothing.
+        assert artifact_stats()["compiles"] == 0
+
+    def test_edited_model_invalidates_only_its_sidecar(
+        self, models_dir, flip_identity
+    ):
+        with ModelRegistry(models_dir) as registry:
+            registry.warm()
+        time.sleep(0.01)
+        api.save(flip_identity, str(models_dir / "flip@1.json"))
+        reset_artifact_stats()
+        with ModelRegistry(models_dir) as registry:
+            summary = registry.warm()
+            assert summary["warmed"] == 2
+            assert summary["compiled"] == 1  # flip@1 only
+            assert summary["from_cache"] == 1  # xmlflip@1 untouched
+            document = flip_input(2, 0)
+            served = registry.get("flip@1").run_batch([document])[0]
+            assert str(served) == str(document)
+
+
+class TestPipelineArtifacts:
+    def test_pipeline_loads_serves_and_describes(self, models_dir):
+        write_pipeline(models_dir, "double@1", ["flip@1", "flip@1"])
+        with ModelRegistry(models_dir) as registry:
+            entry = registry.get("double@1")
+            assert entry.members == ["flip@1", "flip@1"]
+            info = {d["model"]: d for d in registry.describe()}
+            assert info["double@1"]["members"] == ["flip@1", "flip@1"]
+            document = api.parse_tree("root(#, #)")
+            assert str(entry.run_batch([document])[0]) == "root(#, #)"
+
+    def test_second_boot_recovers_pipeline_without_fusing(self, models_dir):
+        write_pipeline(
+            models_dir, "double@1", ["flip@1", "flip@1"], earliest=True
+        )
+        with ModelRegistry(models_dir) as registry:
+            registry.warm()
+        reset_artifact_stats()
+        with ModelRegistry(models_dir) as registry:
+            summary = registry.warm()
+            assert summary["compiled"] == 0
+            assert artifact_stats()["compiles"] == 0
+            document = api.parse_tree("root(#, #)")
+            entry = registry.get("double@1")
+            assert str(entry.run_batch([document])[0]) == "root(#, #)"
+        assert artifact_stats()["compiles"] == 0
+
+    def test_member_edit_retires_the_pipeline(self, models_dir):
+        api.save(
+            identity_dtop(FLIP_ALPHABET), str(models_dir / "stage@1.json")
+        )
+        write_pipeline(models_dir, "chain@1", ["stage@1"])
+        with ModelRegistry(models_dir) as registry:
+            document = flip_input(1, 1)
+            served = registry.get("chain@1").run_batch([document])[0]
+            assert str(served) == str(document)  # identity stage
+
+            time.sleep(0.01)
+            api.save(flip_transducer(), str(models_dir / "stage@1.json"))
+            summary = registry.reload()
+            assert "chain@1" in summary["reloaded"]
+            assert "stage@1" in summary["reloaded"]
+
+            expected = str(api.run(flip_transducer(), document))
+            served = registry.get("chain@1").run_batch([document])[0]
+            assert str(served) == expected
+
+    def test_incompatible_link_names_the_pair(self, tmp_path):
+        api.save(
+            identity_dtop(RankedAlphabet({"f": 2, "a": 0})),
+            str(tmp_path / "left@1.json"),
+        )
+        api.save(
+            identity_dtop(RankedAlphabet({"f": 1, "a": 0})),
+            str(tmp_path / "right@1.json"),
+        )
+        write_pipeline(tmp_path, "bad@1", ["left@1", "right@1"])
+        with pytest.raises(RegistryError) as caught:
+            ModelRegistry(tmp_path)
+        message = str(caught.value)
+        assert "left@1.json" in message and "right@1.json" in message
+
+    def test_nested_pipeline_rejected(self, models_dir):
+        write_pipeline(models_dir, "inner@1", ["flip@1"])
+        write_pipeline(models_dir, "outer@1", ["inner@1"])
+        with pytest.raises(RegistryError) as caught:
+            ModelRegistry(models_dir)
+        assert "nesting" in str(caught.value)
+
+    def test_self_reference_rejected(self, models_dir):
+        write_pipeline(models_dir, "self@1", ["self@1"])
+        with pytest.raises(RegistryError) as caught:
+            ModelRegistry(models_dir)
+        assert "itself" in str(caught.value)
+
+    def test_empty_stage_list_rejected(self, models_dir):
+        write_pipeline(models_dir, "none@1", [])
+        with pytest.raises(RegistryError) as caught:
+            ModelRegistry(models_dir)
+        assert "stages" in str(caught.value)
+
+
+class TestServerWarm:
+    def test_second_server_boot_zero_compiles_over_the_wire(self, models_dir):
+        write_pipeline(models_dir, "double@1", ["flip@1", "flip@1"])
+        with ServerThread(models_dir, warm=True):
+            pass  # first boot: compile + persist every sidecar
+        reset_artifact_stats()
+        with ServerThread(models_dir, warm=True) as handle:
+            with ServerClient(handle.host, handle.port) as client:
+                counters = client.stats()["engine_artifacts"]
+                assert counters["compiles"] == 0
+                assert counters["payload_hits"] == 3
+                assert client.transform("double", "root(#, #)") == "root(#, #)"
+                counters = client.stats()["engine_artifacts"]
+                assert counters["compiles"] == 0

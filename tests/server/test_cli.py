@@ -182,9 +182,12 @@ class TestComposeCommand:
                 "--save", str(composed),
             ]
         )
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert code == 0
-        assert "composed" in out and "saved" in out
+        # Reporting goes to stderr; stdout stays pipeable (and is empty
+        # when --save is given).
+        assert "composed" in captured.err and "saved" in captured.err
+        assert captured.out == ""
 
         document = xmlflip_document(2, 2)
         path = tmp_path / "doc.xml"

@@ -105,7 +105,13 @@ class TestSerializationRoundTrips:
 class TestCacheManagement:
     def test_cache_stats_shape(self):
         stats = api.cache_stats()
-        assert set(stats) == {"intern", "lcp", "sample_tables", "backends"}
+        assert set(stats) == {
+            "intern",
+            "lcp",
+            "sample_tables",
+            "backends",
+            "engine_artifacts",
+        }
         for name in ("intern", "lcp"):
             assert "hits" in stats[name] and "misses" in stats[name]
         assert "tables_built" in stats["sample_tables"]
@@ -113,6 +119,8 @@ class TestCacheManagement:
         assert "signature_hits" in stats["sample_tables"]
         for counters in stats["backends"].values():
             assert "hits" in counters and "misses" in counters
+        assert "compiles" in stats["engine_artifacts"]
+        assert "payload_hits" in stats["engine_artifacts"]
 
     def test_clear_caches_runs(self):
         Tree("f", (Tree("a", ()), Tree("a", ())))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TransducerError
-from repro.transducers.compose import compose
+from repro.transducers.compose import compose, compose_chain
 from repro.transducers.minimize import canonicalize, equivalent_on
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.tree import Tree, parse_term
@@ -131,3 +131,58 @@ class TestComposeEdgeCases:
         assert canonical.num_states <= 5
         for n, m in [(0, 0), (2, 2)]:
             assert canonical.dtop.apply(flip_input(n, m)) == flip_input(n, m)
+
+
+class TestComposeChain:
+    def test_order_is_application_order(self):
+        """The first listed machine runs first: chain ≡ staged."""
+        first, _domain = cycle_relabel(2)
+        in_alpha = first.output_alphabet
+        out_alpha = RankedAlphabet({"x": 1, "y": 1, "e": 0})
+        second = DTOP(
+            in_alpha,
+            out_alpha,
+            call("q", 0),
+            {
+                ("q", "c0"): Tree("x", (call("q", 1),)),
+                ("q", "c1"): Tree("y", (call("q", 1),)),
+                ("q", "e"): rhs_tree("e"),
+            },
+        )
+        fused = compose_chain([first, second])
+        source = parse_term("a(a(a(e)))")
+        assert fused.apply(source) == second.apply(first.apply(source))
+
+    def test_single_machine_chain(self):
+        flip = flip_transducer()
+        fused = compose_chain([flip])
+        assert fused is flip
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(TransducerError):
+            compose_chain([])
+
+    def test_label_count_mismatch_rejected(self):
+        flip = flip_transducer()
+        with pytest.raises(TransducerError) as caught:
+            compose_chain([flip, flip], labels=["only-one"])
+        assert "labels" in str(caught.value)
+
+    def test_incompatible_link_names_the_pair(self):
+        flip = flip_transducer()
+        from repro.workloads.constants import constant_m2
+
+        with pytest.raises(TransducerError) as caught:
+            compose_chain(
+                [flip, constant_m2()], labels=["flip.json", "const.json"]
+            )
+        message = str(caught.value)
+        assert "'flip.json' -> 'const.json'" in message
+
+    def test_earliest_output_parity(self):
+        """earliest=True keeps outputs identical on the fused domain."""
+        flip = flip_transducer()
+        fused = compose_chain([flip, flip])
+        normalized = compose_chain([flip, flip], earliest=True)
+        source = flip_input(0, 0)
+        assert normalized.apply(source) == fused.apply(source)

@@ -80,3 +80,29 @@ class TestToEarliest:
         assert is_earliest(earliest, domain)
         source = parse_term("g(g(e))")
         assert earliest.apply(source) == late.apply(source)
+
+
+class TestEmptyDomain:
+    def test_to_earliest_of_nowhere_defined_machine(self):
+        """A DTOP whose effective domain is empty normalizes to the
+        nowhere-defined earliest machine instead of crashing on the
+        missing witness trees (regression: fused partial pipelines)."""
+        from repro.trees.alphabet import RankedAlphabet
+        from repro.transducers.dtop import DTOP
+        from repro.transducers.rhs import call
+        from repro.trees.tree import Tree
+
+        alphabet = RankedAlphabet({"g": 1, "e": 0})
+        # q has a rule for g but none for e: no finite tree is accepted.
+        nowhere = DTOP(
+            alphabet,
+            alphabet,
+            call("q", 0),
+            {("q", "g"): Tree("g", (call("q", 1),))},
+        )
+        earliest, domain, info = to_earliest(nowhere)
+        assert not domain.transitions  # L(domain) = ∅
+        assert earliest.rules == {}
+        assert earliest.try_apply(parse_term("e")) is None
+        assert earliest.try_apply(parse_term("g(e)")) is None
+        assert set(info) == set(earliest.states)
