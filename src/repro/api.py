@@ -83,6 +83,10 @@ __all__ = [
     "load",
     "serve_forever",
     "connect",
+    "learn_json",
+    "run_json",
+    "save_json",
+    "load_json",
     "cache_stats",
     "clear_caches",
 ]
@@ -377,6 +381,38 @@ def save(obj: Any, path: str) -> None:
 def load(path: str) -> Any:
     """Read and deserialize an artifact written by :func:`save`."""
     return _serialize.load(path)
+
+
+def learn_json(examples: Iterable[Tuple[Any, Any]], domain: Optional[DTTA] = None):
+    """Learn a JSON-to-JSON transformation from example value pairs.
+
+    Examples are plain Python values of the modeled JSON subset
+    (``dict`` / ``list`` / ``str`` / numbers / bools / ``None``); the
+    result is a :class:`repro.json.pipeline.JsonTransformation`.  See
+    :func:`repro.json.pipeline.learn_json_transformation`.
+    """
+    from repro.json.pipeline import learn_json_transformation
+
+    return learn_json_transformation(examples, domain=domain)
+
+
+def run_json(transformation, document: Any) -> Any:
+    """Apply a JSON transformation to one document (a plain value)."""
+    return transformation.apply(document)
+
+
+def save_json(transformation, path: str) -> None:
+    """Persist a JSON transformation as ``repro/json-transformation@1``."""
+    from repro.json.pipeline import save_json_transformation
+
+    save_json_transformation(transformation, path)
+
+
+def load_json(path: str):
+    """Load a transformation saved by :func:`save_json`."""
+    from repro.json.pipeline import load_json_transformation
+
+    return load_json_transformation(path)
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:

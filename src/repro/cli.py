@@ -57,6 +57,14 @@ Usage (also via ``python -m repro``)::
     # Show a saved transducer as an XSLT-like stylesheet:
     python -m repro show --transform transform.json
 
+    # JSON bundles (repro/json-transformation@1) load transparently:
+    # apply/serve auto-detect the format, parse documents as JSON, and
+    # render canonical single-line JSON.  Streams are JSON lines:
+    python -m repro apply --transform rename.json doc.json
+    python -m repro apply --transform rename.json --stream docs.jsonl
+    python -m repro apply --remote localhost:7455 --format json \
+        --transform rename-json doc.json
+
 The examples directory contains pairs ``NAME.in.xml`` / ``NAME.out.xml``.
 The saved artifact is a single JSON file bundling the transducer, the
 domain automaton, both DTDs, and the encoding flags.
@@ -72,6 +80,12 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.json.jsonio import parse_json, serialize_json
+from repro.json.pipeline import (
+    JSON_BUNDLE_FORMAT,
+    JsonTransformation,
+    json_transformation_from_bundle,
+)
 from repro.serialize import dtop_from_data, dtop_to_data, dtta_from_data, dtta_to_data
 from repro.xml.dtd import parse_dtd
 from repro.xml.encode import DTDEncoder
@@ -133,6 +147,20 @@ def load_transformation(path: Path) -> XMLTransformation:
     if bundle.get("format") != BUNDLE_FORMAT:
         raise ReproError(f"{path} is not a {BUNDLE_FORMAT} bundle")
     return transformation_from_bundle(bundle)
+
+
+def load_any_transformation(path: Path):
+    """Load an XML or JSON transformation bundle, dispatching on format."""
+    bundle = json.loads(path.read_text())
+    format_key = bundle.get("format") if isinstance(bundle, dict) else None
+    if format_key == BUNDLE_FORMAT:
+        return transformation_from_bundle(bundle)
+    if format_key == JSON_BUNDLE_FORMAT:
+        return json_transformation_from_bundle(bundle)
+    raise ReproError(
+        f"{path} is neither a {BUNDLE_FORMAT} nor a "
+        f"{JSON_BUNDLE_FORMAT} bundle"
+    )
 
 
 def transformation_from_bundle(bundle: dict) -> XMLTransformation:
@@ -215,7 +243,45 @@ def _print_learning_stats(transformation: XMLTransformation) -> None:
         print(f"stats: {name}: {line}")
 
 
-def _collect_documents(args: argparse.Namespace) -> List[Path]:
+def _resolve_format(args: argparse.Namespace, transformation=None) -> str:
+    """The document format of this invocation: ``"xml"`` or ``"json"``.
+
+    A loaded transformation decides; an explicit ``--format`` must agree
+    with it.  Without a transformation (``--remote``, where the server
+    parses in the model's own syntax) ``auto`` means XML, the historical
+    default — pass ``--format json`` for JSON globbing and extensions.
+    """
+    chosen = getattr(args, "format", None) or "auto"
+    actual = None
+    if isinstance(transformation, JsonTransformation):
+        actual = "json"
+    elif isinstance(transformation, XMLTransformation):
+        actual = "xml"
+    if chosen == "auto":
+        return actual or "xml"
+    if actual is not None and chosen != actual:
+        raise ReproError(
+            f"--format {chosen} does not match the loaded bundle "
+            f"(a {actual} transformation)"
+        )
+    return chosen
+
+
+def _parse_document_text(text: str, doc_format: str):
+    if doc_format == "json":
+        return parse_json(text)
+    return parse_xml(text, ignore_attributes=True)
+
+
+def _render_document(document, doc_format: str) -> str:
+    if doc_format == "json":
+        return serialize_json(document)
+    return serialize_xml(document)
+
+
+def _collect_documents(
+    args: argparse.Namespace, doc_format: str = "xml"
+) -> List[Path]:
     paths = [Path(p) for p in args.documents]
     if args.batch_dir:
         directory = Path(args.batch_dir)
@@ -225,7 +291,8 @@ def _collect_documents(args: argparse.Namespace) -> List[Path]:
         # platform-dependent (case folding on Windows); sort the plain
         # names so batch order, per-document error reports, and exit
         # codes are stable everywhere.
-        paths.extend(sorted(directory.glob("*.xml"), key=lambda p: p.name))
+        pattern = "*.json" if doc_format == "json" else "*.xml"
+        paths.extend(sorted(directory.glob(pattern), key=lambda p: p.name))
     if not paths:
         raise ReproError("no input documents (pass files or --batch-dir)")
     return paths
@@ -252,6 +319,8 @@ def _apply_remote(args: argparse.Namespace) -> int:
 
     host, port = _parse_hostport(args.remote)
     model = args.transform
+    doc_format = _resolve_format(args)
+    extension = "json" if doc_format == "json" else "xml"
     with ServerClient(host, port) as client:
         if args.stream:
             if args.batch_dir:
@@ -279,9 +348,11 @@ def _apply_remote(args: argparse.Namespace) -> int:
                     )
                     continue
                 if out_dir is not None:
-                    (out_dir / f"doc{index + 1:06d}.out.xml").write_text(
-                        outcome + "\n"
-                    )
+                    (
+                        out_dir / f"doc{index + 1:06d}.out.{extension}"
+                    ).write_text(outcome + "\n")
+                elif doc_format == "json":
+                    print(outcome)
                 else:
                     print(f"<!-- document #{index + 1} -->")
                     print(outcome)
@@ -292,7 +363,7 @@ def _apply_remote(args: argparse.Namespace) -> int:
             )
             return 1 if failures else 0
 
-        paths = _collect_documents(args)
+        paths = _collect_documents(args, doc_format)
         if len(paths) == 1 and not args.batch_dir:
             output = client.transform(model, paths[0].read_text())
             if args.output:
@@ -314,13 +385,15 @@ def _apply_remote(args: argparse.Namespace) -> int:
                 print(f"error: {path}: {outcome}", file=sys.stderr)
                 continue
             if out_dir is not None:
-                name = f"{path.stem}.out.xml"
+                name = f"{path.stem}.out.{extension}"
                 serial = 1
                 while name in written:
-                    name = f"{path.stem}.{serial}.out.xml"
+                    name = f"{path.stem}.{serial}.out.{extension}"
                     serial += 1
                 written.add(name)
                 (out_dir / name).write_text(outcome + "\n")
+            elif doc_format == "json":
+                print(outcome)
             else:
                 print(f"<!-- {path} -->")
                 print(outcome)
@@ -345,7 +418,9 @@ def _ensure_output_dir(output: Optional[str]) -> Optional[Path]:
 def _cmd_apply(args: argparse.Namespace) -> int:
     if args.remote:
         return _apply_remote(args)
-    transformation = load_transformation(Path(args.transform))
+    transformation = load_any_transformation(Path(args.transform))
+    doc_format = _resolve_format(args, transformation)
+    extension = "json" if doc_format == "json" else "xml"
     if args.stream:
         if args.batch_dir:
             raise ReproError("--stream and --batch-dir are mutually exclusive")
@@ -359,14 +434,15 @@ def _cmd_apply(args: argparse.Namespace) -> int:
             chunk_docs=args.chunk_docs,
             stats=False,
             backend=args.backend,
+            doc_format=doc_format,
         )
-    paths = _collect_documents(args)
+    paths = _collect_documents(args, doc_format)
 
     if len(paths) == 1 and not args.batch_dir:
         # Single-document mode: unchanged contract (raises via main()).
-        document = parse_xml(paths[0].read_text(), ignore_attributes=True)
+        document = _parse_document_text(paths[0].read_text(), doc_format)
         result = transformation.apply(document)
-        output = serialize_xml(result)
+        output = _render_document(result, doc_format)
         if args.output:
             Path(args.output).write_text(output + "\n")
         else:
@@ -389,7 +465,9 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     outcomes: List[object] = [None] * len(paths)
     for index, path in enumerate(paths):
         try:
-            documents.append(parse_xml(path.read_text(), ignore_attributes=True))
+            documents.append(
+                _parse_document_text(path.read_text(), doc_format)
+            )
         except (OSError, ValueError, ReproError) as error:
             # ValueError covers UnicodeDecodeError on non-UTF-8 files.
             outcomes[index] = error
@@ -416,17 +494,19 @@ def _cmd_apply(args: argparse.Namespace) -> int:
             failures += 1
             print(f"error: {path}: {outcome}", file=sys.stderr)
             continue
-        output = serialize_xml(outcome)
+        output = _render_document(outcome, doc_format)
         if out_dir is not None:
             # Same-stem inputs from different directories must not
             # silently overwrite each other; dedupe the final filename.
-            name = f"{path.stem}.out.xml"
+            name = f"{path.stem}.out.{extension}"
             serial = 1
             while name in written:
-                name = f"{path.stem}.{serial}.out.xml"
+                name = f"{path.stem}.{serial}.out.{extension}"
                 serial += 1
             written.add(name)
             (out_dir / name).write_text(output + "\n")
+        elif doc_format == "json":
+            print(output)
         else:
             print(f"<!-- {path} -->")
             print(output)
@@ -439,23 +519,27 @@ def _cmd_apply(args: argparse.Namespace) -> int:
 
 
 def _serve_stream(
-    transformation: XMLTransformation,
+    transformation,
     source: str,
     jobs: Optional[int],
     output: Optional[str],
     chunk_docs: int,
     stats: bool,
     backend: Optional[str] = None,
+    doc_format: str = "xml",
 ) -> int:
     """Shared engine of ``serve`` and ``apply --stream``.
 
-    Parses the stream incrementally (documents are the direct children
-    of the stream's root element), transforms it chunk-wise — sharded
-    across ``jobs`` workers when requested — and writes outcomes as they
-    complete.  Per-document failures are reported without aborting; the
-    exit code is 1 when any document failed.
+    Parses the stream incrementally (XML: documents are the direct
+    children of the stream's root element; JSON: one document per
+    line), transforms it chunk-wise — sharded across ``jobs`` workers
+    when requested — and writes outcomes as they complete.
+    Per-document failures are reported without aborting; the exit code
+    is 1 when any document failed.
     """
     from repro.serve.stream import iter_stream_documents
+
+    from repro.json.jsonio import iter_json_documents
 
     out_dir: Optional[Path] = None
     if output:
@@ -464,10 +548,14 @@ def _serve_stream(
             raise ReproError(f"--output {out_dir} must be a directory")
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    iterate = (
+        iter_json_documents if doc_format == "json" else iter_stream_documents
+    )
     if source == "-":
-        documents = iter_stream_documents(sys.stdin.buffer)
+        documents = iterate(sys.stdin.buffer)
     else:
-        documents = iter_stream_documents(Path(source))
+        documents = iterate(Path(source))
+    extension = "json" if doc_format == "json" else "xml"
 
     count = 0
     failures = 0
@@ -482,9 +570,13 @@ def _serve_stream(
             failures += 1
             print(f"error: document #{index + 1}: {outcome}", file=sys.stderr)
             continue
-        rendered = serialize_xml(outcome)
+        rendered = _render_document(outcome, doc_format)
         if out_dir is not None:
-            (out_dir / f"doc{index + 1:06d}.out.xml").write_text(rendered + "\n")
+            (out_dir / f"doc{index + 1:06d}.out.{extension}").write_text(
+                rendered + "\n"
+            )
+        elif doc_format == "json":
+            print(rendered)
         else:
             print(f"<!-- document #{index + 1} -->")
             print(rendered)
@@ -506,7 +598,7 @@ def _serve_stream(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    transformation = load_transformation(Path(args.transform))
+    transformation = load_any_transformation(Path(args.transform))
     return _serve_stream(
         transformation,
         args.input,
@@ -515,6 +607,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chunk_docs=args.chunk_docs,
         stats=args.stats,
         backend=args.backend,
+        doc_format=_resolve_format(args, transformation),
     )
 
 
@@ -731,6 +824,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (tables/codegen/numpy/auto; default: "
         "$REPRO_BACKEND, then tables)",
     )
+    apply_cmd.add_argument(
+        "--format",
+        choices=("auto", "xml", "json"),
+        default="auto",
+        help="document format; auto follows the loaded bundle "
+        "(--remote defaults to xml). JSON batch dirs glob *.json, "
+        "JSON streams are one document per line",
+    )
     apply_cmd.set_defaults(func=_cmd_apply)
 
     serve = commands.add_parser(
@@ -760,6 +861,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         help="execution backend (tables/codegen/numpy/auto; default: "
         "$REPRO_BACKEND, then tables)",
+    )
+    serve.add_argument(
+        "--format",
+        choices=("auto", "xml", "json"),
+        default="auto",
+        help="document format; auto follows the loaded bundle",
     )
     serve.set_defaults(func=_cmd_serve)
 

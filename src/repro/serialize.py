@@ -77,6 +77,16 @@ def _state_to_data(state: Any) -> Any:
     raise ParseError(f"cannot serialize state {state!r}")
 
 
+def _state_sort_key(state: Any) -> str:
+    """A canonical ordering key for states.
+
+    ``repr`` of a frozenset follows hash iteration order, which varies
+    across processes (PYTHONHASHSEED) — a serialized artifact would not
+    be byte-stable.  The converted data is canonical, so its repr is.
+    """
+    return repr(_state_to_data(state))
+
+
 def _state_from_data(data: Any) -> Any:
     if isinstance(data, dict):
         if "tuple" in data:
@@ -112,7 +122,8 @@ def dtta_to_data(automaton: DTTA) -> Dict[str, Any]:
                 "children": [_state_to_data(child) for child in children],
             }
             for (state, symbol), children in sorted(
-                automaton.transitions.items(), key=lambda kv: (repr(kv[0][0]), kv[0][1])
+                automaton.transitions.items(),
+                key=lambda kv: (_state_sort_key(kv[0][0]), kv[0][1]),
             )
         ],
     }
@@ -153,7 +164,8 @@ def dtop_to_data(transducer: DTOP) -> Dict[str, Any]:
                 "rhs": tree_to_data(rhs),
             }
             for (state, symbol), rhs in sorted(
-                transducer.rules.items(), key=lambda kv: (repr(kv[0][0]), kv[0][1])
+                transducer.rules.items(),
+                key=lambda kv: (_state_sort_key(kv[0][0]), kv[0][1]),
             )
         ],
     }

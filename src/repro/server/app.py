@@ -79,7 +79,7 @@ from repro.server.batcher import (
 )
 from repro.server.logging import EventLog
 from repro.server.metrics import ServerMetrics
-from repro.server.registry import KIND_XML, ModelRegistry
+from repro.server.registry import KIND_JSON, KIND_XML, ModelRegistry
 from repro.server.supervisor import ShardSupervisor
 
 #: Read size for transform_stream bodies.
@@ -414,9 +414,12 @@ class TransformServer:
             entry = self.registry.get(str(model))
             model_label = entry.key
             backend_label = entry.backend
-            if response_format == "packed" and entry.kind == KIND_XML:
+            if response_format == "packed" and entry.kind in (
+                KIND_XML,
+                KIND_JSON,
+            ):
                 raise ServiceError(
-                    f"model {entry.key} is an XML transformation bundle; "
+                    f"model {entry.key} is a transformation bundle; "
                     f"the packed format serves raw transducer models"
                 )
             tree = entry.parse_document(str(document))
@@ -480,7 +483,11 @@ class TransformServer:
         await self._write(writer, response)
 
     async def _op_transform_stream(self, request, reader, writer) -> None:
-        """Chunked XML stream body → per-document response lines."""
+        """Chunked document-stream body → per-document response lines.
+
+        XML models read the body as a forest of XML documents; JSON
+        models read it as JSON lines (one document per line).
+        """
         request_id = request.get("id")
 
         async def fail(error, consumed_body: bool) -> None:
@@ -523,11 +530,12 @@ class TransformServer:
         except RegistryError as error:
             await fail(error, consumed_body=False)
             return
-        if entry.kind != KIND_XML:
+        if entry.kind not in (KIND_XML, KIND_JSON):
             await fail(
                 ServiceError(
                     f"model {entry.key} is a raw transducer; "
-                    f"transform_stream serves XML transformation bundles"
+                    f"transform_stream serves XML and JSON "
+                    f"transformation bundles"
                 ),
                 consumed_body=False,
             )
@@ -536,7 +544,12 @@ class TransformServer:
         # Pin the entry: a mid-stream hot reload must not swap machines
         # under the open stream (new requests see the new model).
         entry.acquire()
-        parser = StreamParser(ignore_attributes=True, forest=True)
+        if entry.kind == KIND_JSON:
+            from repro.json.jsonio import JsonLinesParser
+
+            parser = JsonLinesParser()
+        else:
+            parser = StreamParser(ignore_attributes=True, forest=True)
         tasks = []  # per-document batcher futures, in stream order
         count = failures = 0
         try:

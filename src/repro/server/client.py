@@ -63,24 +63,63 @@ class ServerClient:
         self._connect()
         self._request_id += 1
         payload = {"id": self._request_id, **payload}
-        self._file.write(
-            json.dumps(payload, ensure_ascii=False).encode() + b"\n"
-        )
-        self._file.flush()
+        try:
+            self._file.write(
+                json.dumps(payload, ensure_ascii=False).encode() + b"\n"
+            )
+            self._file.flush()
+        except (socket.timeout, OSError) as error:
+            self.close()
+            raise ServiceError(
+                f"send to {self.host}:{self.port} failed ({error}); "
+                f"connection closed, the next request will reconnect"
+            ) from None
         return self._request_id
 
-    def _read_response(self) -> Dict:
-        line = self._file.readline()
+    def _read_response(self, expect_id: Optional[int] = None) -> Dict:
+        """Read one response line; never leave a stale response behind.
+
+        A ``socket.timeout`` mid-read tears the connection down: the
+        server will still eventually write the response for the
+        timed-out request, and reusing the socket would hand that stale
+        line to the *next* request.  For the same reason a response
+        carrying the wrong ``id`` (only checked when the server sent
+        one — protocol-level rejections of unparseable lines carry
+        none) poisons the connection and is fatal.
+        """
+        try:
+            line = self._file.readline()
+        except socket.timeout:
+            self.close()
+            raise ServiceError(
+                f"request to {self.host}:{self.port} timed out after "
+                f"{self.timeout}s; connection closed to discard the "
+                f"stale response, the next request will reconnect"
+            ) from None
         if not line:
+            self.close()
             raise ServiceError(
                 f"server {self.host}:{self.port} closed the connection"
             )
-        return json.loads(line)
+        response = json.loads(line)
+        response_id = response.get("id")
+        if (
+            expect_id is not None
+            and response_id is not None
+            and response_id != expect_id
+        ):
+            self.close()
+            raise ServiceError(
+                f"response id {response_id} does not match request id "
+                f"{expect_id}; connection closed, the next request will "
+                f"reconnect"
+            )
+        return response
 
     def _request(self, payload: Dict) -> Dict:
         """One round trip; raises on a protocol-level error response."""
-        self._send(payload)
-        response = self._read_response()
+        request_id = self._send(payload)
+        response = self._read_response(expect_id=request_id)
         if not response.get("ok", False):
             raise error_from_payload(response.get("error", {}))
         return response
@@ -122,8 +161,10 @@ class ServerClient:
         self, model: str, document: str
     ) -> Union[str, ReproError]:
         """Like :meth:`transform`, but failures come back as values."""
-        self._send({"op": "transform", "model": model, "document": document})
-        response = self._read_response()
+        request_id = self._send(
+            {"op": "transform", "model": model, "document": document}
+        )
+        response = self._read_response(expect_id=request_id)
         if response.get("ok", False):
             return response["document"]
         return error_from_payload(response.get("error", {}))
@@ -140,18 +181,26 @@ class ServerClient:
         """
         if isinstance(stream, str):
             stream = stream.encode("utf-8")
-        self._send(
+        request_id = self._send(
             {
                 "op": "transform_stream",
                 "model": model,
                 "content_length": len(stream),
             }
         )
-        self._file.write(stream)
-        self._file.flush()
+        try:
+            self._file.write(stream)
+            self._file.flush()
+        except (socket.timeout, OSError) as error:
+            self.close()
+            raise ServiceError(
+                f"stream body send to {self.host}:{self.port} failed "
+                f"({error}); connection closed, the next request will "
+                f"reconnect"
+            ) from None
         outcomes: List[Union[str, ReproError]] = []
         while True:
-            response = self._read_response()
+            response = self._read_response(expect_id=request_id)
             if response.get("done"):
                 error = response.get("error")
                 if error is not None:

@@ -1,6 +1,6 @@
 """The model registry: named, versioned transformations loaded from disk.
 
-A registry watches one directory of JSON artifacts.  Three artifact
+A registry watches one directory of JSON artifacts.  Four artifact
 kinds are served:
 
 * ``repro/dtop@1`` documents (written by :func:`repro.api.save`) — raw
@@ -9,6 +9,10 @@ kinds are served:
 * ``repro/xml-transformation@1`` bundles (written by ``repro learn
   --save``) — end-to-end XML transformations; request documents are XML
   and results render as XML;
+* ``repro/json-transformation@1`` bundles (written by
+  :func:`repro.json.pipeline.save_json_transformation`) — end-to-end
+  JSON transformations; request documents are JSON text and results
+  render as canonical single-line JSON;
 * ``repro/pipeline@1`` pipelines — ``{"format": …, "stages": [ref, …]}``
   where each ref names a sibling ``repro/dtop@1`` model (``NAME`` or
   ``NAME@VERSION``); the stages are fused through
@@ -88,9 +92,13 @@ from repro.xml.xmlio import parse_xml, serialize_xml
 #: Artifact kinds a registry serves.
 KIND_DTOP = "dtop"
 KIND_XML = "xml"
+KIND_JSON = "json"
 
 #: Bundle format written by ``repro learn --save`` (see ``repro.cli``).
 XML_BUNDLE_FORMAT = "repro/xml-transformation@1"
+
+#: Bundle format written by ``save_json_transformation``.
+JSON_BUNDLE_FORMAT = "repro/json-transformation@1"
 
 #: Pipeline artifact: a JSON list of member model refs fused at load.
 PIPELINE_FORMAT = "repro/pipeline@1"
@@ -391,12 +399,20 @@ class ModelEntry:
         """Parse one request document in the model's input syntax."""
         if self.kind == KIND_DTOP:
             return parse_term(text)
+        if self.kind == KIND_JSON:
+            from repro.json.jsonio import parse_json
+
+            return parse_json(text)
         return parse_xml(text, ignore_attributes=True)
 
     def render_output(self, outcome) -> str:
         """Render one successful outcome in the model's output syntax."""
         if self.kind == KIND_DTOP:
             return str(outcome)
+        if self.kind == KIND_JSON:
+            from repro.json.jsonio import serialize_json
+
+            return serialize_json(outcome)
         return serialize_xml(outcome)
 
     def render_packed(self, outcome: Tree) -> Dict[str, object]:
@@ -425,7 +441,7 @@ class ModelEntry:
         self.requests += len(documents)
         engine = self.ensure_engine()
         service = self.service()
-        if self.kind == KIND_XML:
+        if self.kind in (KIND_XML, KIND_JSON):
             return self.transformation.apply_batch(
                 documents, service=service, backend=self.backend
             )
@@ -641,6 +657,17 @@ def _load_entry(
             ) from None
         machine = transformation.transducer
         kind = KIND_XML
+    elif format_key == JSON_BUNDLE_FORMAT:
+        from repro.json.pipeline import json_transformation_from_bundle
+
+        try:
+            transformation = json_transformation_from_bundle(data)
+        except (ReproError, KeyError) as error:
+            raise RegistryError(
+                f"cannot load model {path.name}: {error}"
+            ) from None
+        machine = transformation.transducer
+        kind = KIND_JSON
     elif format_key == PIPELINE_FORMAT:
         try:
             machines, member_bytes, member_fingerprints, members, labels = (

@@ -33,6 +33,26 @@ def flip_transducer() -> DTOP:
     return DTOP(FLIP_ALPHABET, FLIP_ALPHABET, axiom, rules)
 
 
+def swap_transducer() -> DTOP:
+    """Flip the lists *and* relabel ``a``↔``b``: an involution.
+
+    Unlike ``τ_flip``, the image of the flip domain is the flip domain
+    itself, so the machine composes with itself — ``swap ∘ swap`` is
+    the identity on ``root(a-list, b-list)``.  This is the stock
+    library's pipeline example.
+    """
+    axiom = Tree("root", (call("q1", 0), call("q2", 0)))
+    rules = {
+        ("q1", "root"): rhs_tree(("qba", 2)),
+        ("q2", "root"): rhs_tree(("qab", 1)),
+        ("qba", "#"): rhs_tree("#"),
+        ("qba", "b"): rhs_tree(("a", "#", ("qba", 2))),
+        ("qab", "#"): rhs_tree("#"),
+        ("qab", "a"): rhs_tree(("b", "#", ("qab", 2))),
+    }
+    return DTOP(FLIP_ALPHABET, FLIP_ALPHABET, axiom, rules)
+
+
 def flip_domain() -> DTTA:
     """``root(a-list, b-list)`` with fc/ns-encoded monadic lists."""
     return DTTA(

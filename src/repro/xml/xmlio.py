@@ -17,7 +17,44 @@ from repro.xml.unranked import PCDATA_LABEL, UTree
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
 
 
-def _unescape(data: str) -> str:
+def _charref(digits: str, base: int, offset: int) -> str:
+    """Decode a numeric character reference body (``&#…;`` / ``&#x…;``).
+
+    Every malformed form a hostile document can produce — empty digits,
+    non-digit garbage, code points past U+10FFFF, huge values that would
+    overflow ``chr``, and surrogates — maps to a :class:`ParseError`
+    carrying the reference's offset, never a raw ``ValueError`` or
+    ``OverflowError`` (both were reachable from a live server through
+    ``transform_stream`` with a user-controlled document).
+    """
+    label = "&#x…;" if base == 16 else "&#…;"
+    try:
+        code = int(digits, base)
+    except ValueError:
+        raise ParseError(
+            f"XML error at offset {offset}: malformed numeric character "
+            f"reference {label} with digits {digits!r}"
+        ) from None
+    if code > 0x10FFFF:
+        raise ParseError(
+            f"XML error at offset {offset}: character reference "
+            f"&#{'x' if base == 16 else ''}{digits}; is past U+10FFFF"
+        )
+    if 0xD800 <= code <= 0xDFFF:
+        raise ParseError(
+            f"XML error at offset {offset}: character reference to "
+            f"surrogate U+{code:04X} is not a character"
+        )
+    return chr(code)
+
+
+def _unescape(data: str, base_offset: int = 0) -> str:
+    """Decode entity and character references; errors carry offsets.
+
+    ``base_offset`` is the position of ``data[0]`` in the enclosing
+    document, so every :class:`ParseError` points at the offending
+    reference in the *document*, not in the text slice.
+    """
     out: List[str] = []
     i = 0
     while i < len(data):
@@ -25,16 +62,22 @@ def _unescape(data: str) -> str:
         if ch == "&":
             end = data.find(";", i)
             if end == -1:
-                raise ParseError("unterminated entity reference")
+                raise ParseError(
+                    f"XML error at offset {base_offset + i}: "
+                    f"unterminated entity reference"
+                )
             name = data[i + 1 : end]
             if name.startswith("#x") or name.startswith("#X"):
-                out.append(chr(int(name[2:], 16)))
+                out.append(_charref(name[2:], 16, base_offset + i))
             elif name.startswith("#"):
-                out.append(chr(int(name[1:])))
+                out.append(_charref(name[1:], 10, base_offset + i))
             elif name in _ENTITIES:
                 out.append(_ENTITIES[name])
             else:
-                raise ParseError(f"unknown entity &{name};")
+                raise ParseError(
+                    f"XML error at offset {base_offset + i}: "
+                    f"unknown entity &{name};"
+                )
             i = end + 1
         else:
             out.append(ch)
@@ -73,12 +116,98 @@ class _XmlParser:
                     raise self.error("unterminated processing instruction")
                 self.pos = end + 2
             elif self.source.startswith("<!", self.pos):
-                end = self.source.find(">", self.pos)
-                if end == -1:
-                    raise self.error("unterminated declaration")
-                self.pos = end + 1
+                self._skip_declaration()
             else:
                 return
+
+    def _skip_declaration(self) -> None:
+        """Skip one ``<!…>`` declaration, bracket-matching ``[…]``.
+
+        A ``<!DOCTYPE x [ <!ELEMENT a (b)> ]>`` internal subset contains
+        ``>`` characters of its own; skipping to the first ``>`` (the old
+        behavior) left the parser in the middle of the subset and
+        desynced it for the rest of the document.  The subset is skipped
+        as a unit: quoted literals, comments, and processing
+        instructions inside it are opaque, nested declarations may
+        contain ``>``, and the subset ends at the first top-level ``]``
+        which must be followed (after whitespace) by the closing ``>``.
+        """
+        start = self.pos
+        i = self.pos + 2  # past '<!'
+        source = self.source
+
+        def skip_literal(j: int) -> int:
+            quote = source[j]
+            end = source.find(quote, j + 1)
+            if end == -1:
+                self.pos = start
+                raise self.error("unterminated literal in declaration")
+            return end + 1
+
+        while i < len(source):
+            ch = source[i]
+            if ch == ">":
+                self.pos = i + 1
+                return
+            if ch in "\"'":
+                i = skip_literal(i)
+            elif ch == "[":
+                i += 1  # internal subset
+                while i < len(source) and source[i] != "]":
+                    if source[i] in "\"'":
+                        i = skip_literal(i)
+                    elif source.startswith("<!--", i):
+                        end = source.find("-->", i)
+                        if end == -1:
+                            self.pos = start
+                            raise self.error(
+                                "unterminated comment in internal subset"
+                            )
+                        i = end + 3
+                    elif source.startswith("<?", i):
+                        end = source.find("?>", i)
+                        if end == -1:
+                            self.pos = start
+                            raise self.error(
+                                "unterminated processing instruction in "
+                                "internal subset"
+                            )
+                        i = end + 2
+                    elif source.startswith("<!", i):
+                        # A nested markup declaration; its quoted
+                        # literals may themselves contain '>'.
+                        i += 2
+                        while i < len(source) and source[i] != ">":
+                            if source[i] in "\"'":
+                                i = skip_literal(i)
+                            else:
+                                i += 1
+                        if i >= len(source):
+                            self.pos = start
+                            raise self.error(
+                                "unterminated declaration in internal subset"
+                            )
+                        i += 1
+                    else:
+                        i += 1
+                if i >= len(source):
+                    self.pos = start
+                    raise self.error("unterminated internal subset")
+                i += 1  # past ']'
+                while i < len(source) and source[i].isspace():
+                    i += 1
+                if i >= len(source) or source[i] != ">":
+                    self.pos = start
+                    raise self.error(
+                        "malformed declaration: expected '>' after the "
+                        "internal subset"
+                    )
+                self.pos = i + 1
+                return
+            else:
+                i += 1
+        self.pos = start
+        raise self.error("unterminated declaration")
 
     def parse_name(self) -> str:
         start = self.pos
@@ -130,11 +259,23 @@ class _XmlParser:
 
     def parse_content(self, name: str) -> List[UTree]:
         children: List[UTree] = []
-        buffer: List[str] = []
+        parts: List[str] = []
+        run_start = -1  # start of the current raw text run, -1 if none
+
+        def end_run() -> None:
+            # Decode the contiguous raw run that ends at self.pos; passing
+            # its document offset keeps _unescape's errors pointing at the
+            # real position of a malformed reference.
+            nonlocal run_start
+            if run_start != -1:
+                raw = self.source[run_start : self.pos]
+                parts.append(_unescape(raw, run_start))
+                run_start = -1
 
         def flush_text() -> None:
-            data = _unescape("".join(buffer))
-            buffer.clear()
+            end_run()
+            data = "".join(parts)
+            parts.clear()
             if data.strip():
                 children.append(UTree(PCDATA_LABEL, (), data.strip()))
 
@@ -154,6 +295,7 @@ class _XmlParser:
                 self.pos += 1
                 return children
             if self.source.startswith("<!--", self.pos):
+                end_run()
                 end = self.source.find("-->", self.pos)
                 if end == -1:
                     raise self.error("unterminated comment")
@@ -162,7 +304,8 @@ class _XmlParser:
                 flush_text()
                 children.append(self.parse_element())
             else:
-                buffer.append(self.source[self.pos])
+                if run_start == -1:
+                    run_start = self.pos
                 self.pos += 1
 
 

@@ -12,6 +12,7 @@ cost stays dominated by the requests, not by server boots.
 """
 
 import json
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -19,7 +20,10 @@ import pytest
 
 from repro import api
 from repro.errors import ReproError, UndefinedTransductionError
+from repro.json.jsonio import parse_json, serialize_json
+from repro.json.pipeline import save_json_transformation
 from repro.server import ServerClient, ServerThread
+from repro.workloads.jsonwl import CONFIG_KEYS, JSON_WORKLOADS
 
 from tests.fuzz.test_differential import (
     FUZZ_SEEDS,
@@ -162,6 +166,67 @@ def test_served_pipeline_matches_staged_local_runs(seed, tmp_path):
                     # the staged chain is defined.
                     continue
                 assert remote_outcome_bytes(remote) == ("tree", str(staged))
+
+
+def random_json_document(rng, depth=0):
+    """A config-shaped JSON value; occasionally out of the machines'
+    domain (an unmodeled key) so the error path is replayed too."""
+    if depth < 2 and rng.random() < 0.55:
+        if rng.random() < 0.7:
+            keys = list(CONFIG_KEYS) + ["mystery"]
+            chosen = rng.sample(keys, rng.randint(0, min(4, len(keys))))
+            return {
+                key: random_json_document(rng, depth + 1)
+                for key in sorted(chosen)
+            }
+        return [
+            random_json_document(rng, depth + 1)
+            for _ in range(rng.randint(0, 3))
+        ]
+    return rng.choice(
+        [True, False, None, rng.randint(-999, 999)]
+        + ["h", "i", "al", "am", "even?", "odd!"]
+    )
+
+
+def test_served_json_models_match_local_pipelines(tmp_path):
+    """Random config documents through every JSON workload: the served
+    outcome (output bytes or error type + message) must equal the local
+    ``JsonTransformation`` outcome, per document."""
+    local = {}
+    for name, factory, _reference in JSON_WORKLOADS:
+        transformation = factory()
+        save_json_transformation(
+            transformation, tmp_path / f"{name}@1.json"
+        )
+        local[name] = transformation
+
+    rng = random.Random(0x1E9A)
+    corpus = [serialize_json(random_json_document(rng)) for _ in range(40)]
+
+    with ServerThread(tmp_path, max_wait_ms=2.0, max_batch=8) as handle:
+        with ServerClient(handle.host, handle.port) as client:
+            errors = 0
+            for name, transformation in local.items():
+                for text in corpus:
+                    try:
+                        expected = (
+                            "tree",
+                            serialize_json(
+                                transformation.apply(parse_json(text))
+                            ),
+                        )
+                    except ReproError as error:
+                        expected = (type(error).__name__, str(error))
+                        errors += 1
+                    remote = client.try_transform(name, text)
+                    assert remote_outcome_bytes(remote) == expected, (
+                        name,
+                        text,
+                    )
+    # The corpus must actually exercise the error path, or the
+    # error-agreement half of this test is vacuous.
+    assert errors > 0
 
 
 def test_server_and_local_error_objects_interchange(corpus):

@@ -1,0 +1,145 @@
+"""Regression: a timed-out request must never surface a stale response.
+
+The historical bug: ``ServerClient`` kept its socket open after a
+``socket.timeout`` mid-read.  The server eventually wrote the response
+for the timed-out request, and the *next* request on the same
+connection read that stale line as its own answer — a silent
+wrong-result bug.  The fix tears the connection down on timeout (and on
+a response-id mismatch) so the next request reconnects cleanly.
+
+The fake server here answers slowly on the first connection only, which
+is exactly the shape that used to cross responses.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.server import ServerClient
+
+
+class FakeLineServer:
+    """A JSON-lines server with a programmable per-request handler.
+
+    ``handler(request, connection_index)`` returns the response dict
+    (sent with a trailing newline) or ``None`` to close the connection.
+    """
+
+    def __init__(self, handler):
+        self._handler = handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        # Poll: closing a listener does not wake a blocked accept().
+        self._listener.settimeout(0.1)
+        self.host, self.port = self._listener.getsockname()
+        self.connections = 0
+        self._stopping = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stopping:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            index = self.connections
+            self.connections += 1
+            # One thread per connection: a handler stuck sleeping on a
+            # timed-out connection must not delay the client's reconnect.
+            threading.Thread(
+                target=self._serve_connection, args=(conn, index), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn, index):
+        with conn, conn.makefile("rwb") as stream:
+            while True:
+                line = stream.readline()
+                if not line:
+                    break
+                request = json.loads(line)
+                response = self._handler(request, index)
+                if response is None:
+                    break
+                try:
+                    stream.write(json.dumps(response).encode() + b"\n")
+                    stream.flush()
+                except OSError:
+                    break
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._stopping = True
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+
+def test_timeout_tears_down_and_reconnects():
+    def handler(request, connection_index):
+        if connection_index == 0:
+            # Slower than the client's timeout: the response arrives
+            # after the client has given up on this request.
+            time.sleep(0.6)
+        return {
+            "id": request["id"],
+            "ok": True,
+            "document": "pong:" + request["document"],
+        }
+
+    with FakeLineServer(handler) as server:
+        client = ServerClient(server.host, server.port, timeout=0.15)
+        with client:
+            with pytest.raises(ServiceError) as caught:
+                client.transform("m", "one")
+            message = str(caught.value)
+            assert "timed out" in message
+            assert "stale response" in message
+            # The poisoned connection is gone...
+            assert client._sock is None
+            # ...and the next request reconnects and gets ITS answer,
+            # not the first request's late response.
+            client.timeout = 5.0
+            assert client.transform("m", "two") == "pong:two"
+        assert server.connections == 2
+
+
+def test_stale_id_is_rejected_and_connection_closed():
+    def handler(request, connection_index):
+        if connection_index == 0:
+            # A response for some *other* request — the stale-line shape.
+            return {"id": 999, "ok": True, "document": "stale"}
+        return {"id": request["id"], "ok": True, "document": "fresh"}
+
+    with FakeLineServer(handler) as server:
+        client = ServerClient(server.host, server.port, timeout=5.0)
+        with client:
+            with pytest.raises(ServiceError, match="does not match request id"):
+                client.transform("m", "one")
+            assert client._sock is None
+            assert client.transform("m", "two") == "fresh"
+        assert server.connections == 2
+
+
+def test_idless_error_response_is_not_an_id_mismatch():
+    # Protocol-level rejections (unparseable line, oversized line)
+    # carry no "id"; they must surface as the server's error, not as a
+    # spurious id-mismatch teardown.
+    def handler(request, connection_index):
+        return {
+            "ok": False,
+            "error": {"type": "ServiceError", "message": "line too long"},
+        }
+
+    with FakeLineServer(handler) as server:
+        with ServerClient(server.host, server.port, timeout=5.0) as client:
+            with pytest.raises(ServiceError, match="line too long"):
+                client.transform("m", "doc")

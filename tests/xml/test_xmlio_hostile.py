@@ -1,0 +1,118 @@
+"""Hostile-corpus regressions for the XML reader.
+
+Two historical bugs, both found by feeding adversarial documents:
+
+* malformed numeric character references (``&#xZZ;``, ``&#;``, code
+  points past U+10FFFF, surrogates) escaped as raw ``ValueError`` /
+  ``OverflowError`` instead of :class:`~repro.errors.ParseError`;
+* a ``<!DOCTYPE`` declaration with an internal subset (``[ ... ]``)
+  desynchronized the recursive parser, which matched the first ``>``
+  instead of the subset's closing ``]>``.
+
+Both must now raise offset-carrying parse errors or parse correctly —
+and the recursive parser must agree with the expat streaming parser on
+every accepted document.
+"""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.serve import parse_xml_stream
+from repro.xml.xmlio import parse_xml, serialize_xml
+
+
+class TestNumericCharacterReferences:
+    def test_valid_references_still_work(self):
+        assert parse_xml("<a>&#65;&#x42;</a>").children[0].text == "AB"
+
+    def test_hex_reference_uppercase_x(self):
+        assert parse_xml("<a>&#X41;</a>").children[0].text == "A"
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ("&#xZZ;", "malformed numeric character reference"),
+            ("&#;", "malformed numeric character reference"),
+            ("&#x;", "malformed numeric character reference"),
+            ("&#12a;", "malformed numeric character reference"),
+            ("&#x110000;", "past U+10FFFF"),
+            ("&#1114112;", "past U+10FFFF"),
+            # A reference huge enough that chr() would raise
+            # OverflowError if reached (the historical crash).
+            ("&#x999999999999999999;", "past U+10FFFF"),
+            ("&#xD800;", "surrogate"),
+            ("&#xDFFF;", "surrogate"),
+            ("&#55296;", "surrogate"),
+            ("&nosuch;", "unknown entity"),
+            ("&unterminated", "unterminated entity reference"),
+        ],
+    )
+    def test_hostile_references_raise_parse_errors(self, body, fragment):
+        source = f"<a>{body}</a>"
+        with pytest.raises(ParseError) as caught:
+            parse_xml(source)
+        message = str(caught.value)
+        assert fragment in message
+        assert "offset" in message
+
+    def test_error_offset_points_at_the_reference(self):
+        with pytest.raises(ParseError) as caught:
+            parse_xml("<root>ok&#xZZ;</root>")
+        assert "offset 8" in str(caught.value)
+
+
+DOCTYPE_DOCUMENTS = [
+    # Plain DOCTYPE, no subset (always worked).
+    "<!DOCTYPE a><a><b/></a>",
+    # Internal subset: the first '>' is inside the subset.
+    "<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b/></a>",
+    # Multiple declarations in the subset.
+    (
+        "<!DOCTYPE a [ <!ELEMENT a (b*)> <!ELEMENT b EMPTY> ]>"
+        "<a><b/><b/></a>"
+    ),
+    # Quoted '>' and ']' inside subset literals.
+    '<!DOCTYPE a [ <!ATTLIST b id CDATA "x>y]z"> ]><a><b/></a>',
+    # Comments and processing instructions inside the subset.
+    "<!DOCTYPE a [ <!-- a comment with > and ] --> <?pi with > ?> ]><a/>",
+]
+
+
+class TestDoctypeInternalSubsets:
+    @pytest.mark.parametrize("source", DOCTYPE_DOCUMENTS)
+    def test_subset_documents_parse(self, source):
+        document = parse_xml(source, ignore_attributes=True)
+        assert document.label == "a"
+
+    @pytest.mark.parametrize("source", DOCTYPE_DOCUMENTS)
+    def test_recursive_and_expat_parsers_agree(self, source):
+        recursive = parse_xml(source, ignore_attributes=True)
+        streamed = parse_xml_stream(source.encode(), ignore_attributes=True)
+        assert serialize_xml(recursive) == serialize_xml(streamed)
+
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("<!DOCTYPE a [ <!ELEMENT a (b)>", "unterminated internal subset"),
+            ("<!DOCTYPE a [ ]<a/>", "expected '>' after the internal subset"),
+            ('<!DOCTYPE a [ <!ATTLIST b x CDATA "unclosed> ]><a/>',
+             "unterminated literal in declaration"),
+            ("<!DOCTYPE a ", "unterminated declaration"),
+        ],
+    )
+    def test_malformed_subsets_raise_parse_errors(self, source, fragment):
+        with pytest.raises(ParseError) as caught:
+            parse_xml(source)
+        message = str(caught.value)
+        assert fragment in message
+        assert "offset" in message
+
+    def test_subset_does_not_leak_into_content(self):
+        # The historical failure mode: everything after the first '>'
+        # of the subset was parsed as document content.
+        document = parse_xml(
+            "<!DOCTYPE root [ <!ENTITY% x 'y'> ]><root>text</root>",
+            ignore_attributes=True,
+        )
+        assert document.label == "root"
+        assert document.children[0].text == "text"
