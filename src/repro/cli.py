@@ -81,6 +81,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.json.jsonio import parse_json, serialize_json
+from repro.obs.trace import NULL_TRACE, new_trace, render_trace_dict
 from repro.json.pipeline import (
     JSON_BUNDLE_FORMAT,
     JsonTransformation,
@@ -327,6 +328,11 @@ def _apply_remote(args: argparse.Namespace) -> int:
                 raise ReproError(
                     "--stream and --batch-dir are mutually exclusive"
                 )
+            if args.trace:
+                raise ReproError(
+                    "--trace does not support --stream (trace single "
+                    "documents)"
+                )
             if len(args.documents) != 1:
                 raise ReproError("--stream takes exactly one stream file (or -)")
             source = args.documents[0]
@@ -365,12 +371,23 @@ def _apply_remote(args: argparse.Namespace) -> int:
 
         paths = _collect_documents(args, doc_format)
         if len(paths) == 1 and not args.batch_dir:
-            output = client.transform(model, paths[0].read_text())
+            if args.trace:
+                output, trace = client.transform_traced(
+                    model, paths[0].read_text()
+                )
+                print(render_trace_dict(trace), file=sys.stderr)
+            else:
+                output = client.transform(model, paths[0].read_text())
             if args.output:
                 Path(args.output).write_text(output + "\n")
             else:
                 print(output)
             return 0
+
+        if args.trace:
+            raise ReproError(
+                "--trace over --remote traces one document at a time"
+            )
 
         out_dir = _ensure_output_dir(args.output)
         failures = 0
@@ -424,6 +441,11 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     if args.stream:
         if args.batch_dir:
             raise ReproError("--stream and --batch-dir are mutually exclusive")
+        if args.trace:
+            raise ReproError(
+                "--trace does not support --stream (trace single "
+                "documents or a --batch-dir batch)"
+            )
         if len(args.documents) != 1:
             raise ReproError("--stream takes exactly one stream file (or -)")
         return _serve_stream(
@@ -440,9 +462,15 @@ def _cmd_apply(args: argparse.Namespace) -> int:
 
     if len(paths) == 1 and not args.batch_dir:
         # Single-document mode: unchanged contract (raises via main()).
-        document = _parse_document_text(paths[0].read_text(), doc_format)
-        result = transformation.apply(document)
-        output = _render_document(result, doc_format)
+        trace = new_trace() if args.trace else NULL_TRACE
+        with trace.span("decode", format=doc_format):
+            document = _parse_document_text(paths[0].read_text(), doc_format)
+        with trace.span("execute"):
+            result = transformation.apply(document)
+        with trace.span("encode", format=doc_format):
+            output = _render_document(result, doc_format)
+        if trace:
+            print(trace.render(), file=sys.stderr)
         if args.output:
             Path(args.output).write_text(output + "\n")
         else:
@@ -477,16 +505,20 @@ def _cmd_apply(args: argparse.Namespace) -> int:
                 "document parsing exceeded the recursion limit"
             )
             documents.append(None)
+    trace = new_trace(name="batch") if args.trace else NULL_TRACE
     batch = iter(
         transformation.apply_batch(
             [d for d in documents if d is not None],
             jobs=args.jobs,
             backend=args.backend,
+            trace=trace,
         )
     )
     for index, document in enumerate(documents):
         if document is not None:
             outcomes[index] = next(batch)
+    if trace:
+        print(trace.render(), file=sys.stderr)
     failures = 0
     written: set = set()
     for path, outcome in zip(paths, outcomes):
@@ -627,6 +659,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
         log_json=args.log_json,
         backend=args.backend,
         warm=args.warm,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_ms=args.slow_ms,
     )
 
 
@@ -832,6 +866,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(--remote defaults to xml). JSON batch dirs glob *.json, "
         "JSON streams are one document per line",
     )
+    apply_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a span tree of the request to stderr (local: "
+        "decode/execute/decode phases; --remote: the server-side "
+        "breakdown including queue wait and dispatch)",
+    )
     apply_cmd.set_defaults(func=_cmd_apply)
 
     serve = commands.add_parser(
@@ -936,6 +977,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="precompile or cache-load every model's engine (and "
         "prestart worker pools) before accepting traffic; with fresh "
         ".engine sidecars the boot compiles nothing",
+    )
+    server.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="trace this fraction of transform requests (0..1) and "
+        "emit each as a trace.sample event (visible under --log-json)",
+    )
+    server.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help="trace every request and emit a trace.slow event with the "
+        "span breakdown for any taking at least N ms end to end",
     )
     server.set_defaults(func=_cmd_server)
 

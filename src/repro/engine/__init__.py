@@ -88,6 +88,7 @@ from repro.engine.execute import (
     automaton_engine_for,
     engine_for,
 )
+from repro.engine.profile import profile_snapshot, rule_labels
 from repro.engine.sample_tables import (
     MergeIndex,
     SampleTables,
@@ -108,6 +109,8 @@ __all__ = [
     "AutomatonEngine",
     "engine_for",
     "automaton_engine_for",
+    "profile_snapshot",
+    "rule_labels",
     "ARTIFACT_FORMAT",
     "ENGINE_SUFFIX",
     "artifact_stats",

@@ -30,6 +30,7 @@ from repro.transducers.rhs import StateName
 
 from repro.engine.backends import note_batch
 from repro.engine.compile import OP_CALL, OP_CONST, CompiledDTOP
+from repro.engine.profile import clear_profile, new_profile, profile_snapshot
 
 PairKey = Tuple[int, int]  # (state_id, tree uid)
 Outcome = Union[Tree, UndefinedTransductionError]
@@ -41,11 +42,12 @@ class BackendEngine:
     #: Registry name of the concrete backend; appears in ``cache_stats``.
     backend = "abstract"
 
-    __slots__ = ("compiled", "_stats", "_bare_axiom")
+    __slots__ = ("compiled", "_stats", "_bare_axiom", "_profile")
 
     def __init__(self, compiled: CompiledDTOP):
         self.compiled = compiled
         self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "batches": 0}
+        self._profile = new_profile(len(compiled.rule_templates))
         # Most machines have an axiom that is one bare state call on the
         # root; remember its state id so outcome assembly is a plain
         # memo lookup instead of a template replay per distinct root.
@@ -221,3 +223,17 @@ class BackendEngine:
         self._stats["hits"] = 0
         self._stats["misses"] = 0
         self._stats["batches"] = 0
+
+    # -- profiling --------------------------------------------------------
+
+    def profile_snapshot(self) -> Dict[str, object]:
+        """Per-rule evaluation counts (and sweep timings where kept).
+
+        See :func:`repro.engine.profile.profile_snapshot`; counters
+        accumulate across batches until :meth:`clear_profile`.
+        """
+        return profile_snapshot(self.compiled, self.backend, self._profile)
+
+    def clear_profile(self) -> None:
+        """Zero the profiler (the memo and cache stats are untouched)."""
+        clear_profile(self._profile)

@@ -33,6 +33,7 @@ sequence — the first failed call site's error propagates, and undefined
 
 from __future__ import annotations
 
+import time
 from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -54,9 +55,10 @@ MAX_TEMPLATE_LEN = 4000
 _HEIGHT = itemgetter(0)
 
 RuleFn = Callable[[Tree, Dict[Tree, Tree]], bool]
-#: Dispatch entry per (state, known symbol): the rule function plus the
-#: rule's document-order call sites for failure propagation.
-DispatchEntry = Tuple[RuleFn, Tuple[Tuple[int, int], ...]]
+#: Dispatch entry per (state, known symbol): the rule function, the
+#: rule's document-order call sites for failure propagation, and the
+#: compiled rule index (for the per-rule-function profiler).
+DispatchEntry = Tuple[RuleFn, Tuple[Tuple[int, int], ...], int]
 
 
 class _NamePool:
@@ -202,7 +204,7 @@ def _build_dispatch(
         for symbol_id, label in enumerate(compiled.symbol_names):
             rule = rule_of[base + symbol_id]
             if rule >= 0:
-                table[label] = (functions[rule], rule_calls[rule])
+                table[label] = (functions[rule], rule_calls[rule], rule)
     return dispatch, tuple(fallback_rules)
 
 
@@ -233,7 +235,14 @@ class CodegenEngine(BackendEngine):
 
     backend = "codegen"
 
-    __slots__ = ("_memos", "_dispatch", "_fn_of", "_fast", "fallback_rules")
+    __slots__ = (
+        "_memos",
+        "_dispatch",
+        "_fn_of",
+        "_rule_of_label",
+        "_fast",
+        "fallback_rules",
+    )
 
     def __init__(self, compiled: CompiledDTOP):
         super().__init__(compiled)
@@ -252,6 +261,12 @@ class CodegenEngine(BackendEngine):
         # path stay in ``_dispatch``).
         self._fn_of: Dict[object, RuleFn] = (
             {label: entry[0] for label, entry in self._dispatch[0].items()}
+            if self._fast
+            else {}
+        )
+        # Fast-path profiler dispatch: label → compiled rule index.
+        self._rule_of_label: Dict[object, int] = (
+            {label: entry[2] for label, entry in self._dispatch[0].items()}
             if self._fast
             else {}
         )
@@ -339,8 +354,14 @@ class CodegenEngine(BackendEngine):
 
         demanded.sort(key=_HEIGHT)
         failed: Dict[PairKey, UndefinedTransductionError] = {}
+        profile = self._profile
+        profile["sweeps"] += 1
+        rule_hits = profile["rule_hits"]
+        rule_of_label = self._rule_of_label
+        sweep_began = time.perf_counter()
         for _height, node, fn in demanded:
             if fn is not None and fn(node, memo):
+                rule_hits[rule_of_label[node.label]] += 1
                 continue
             if fn is None:
                 failed[(0, node.uid)] = self._undefined(0, node.label)
@@ -355,6 +376,7 @@ class CodegenEngine(BackendEngine):
                 if error is not None:
                     break
             failed[(0, node.uid)] = error
+        profile["sweep_seconds"] += time.perf_counter() - sweep_began
         self._note(hits, len(demanded) - len(failed))
         return failed
 
@@ -391,8 +413,13 @@ class CodegenEngine(BackendEngine):
 
         demanded.sort(key=_HEIGHT)
         failed: Dict[PairKey, UndefinedTransductionError] = {}
+        profile = self._profile
+        profile["sweeps"] += 1
+        rule_hits = profile["rule_hits"]
+        sweep_began = time.perf_counter()
         for _height, node, state_id, entry in demanded:
             if entry is not None and entry[0](node, memos[state_id]):
+                rule_hits[entry[2]] += 1
                 continue
             if entry is None:
                 failed[(state_id, node.uid)] = self._undefined(
@@ -406,6 +433,7 @@ class CodegenEngine(BackendEngine):
                 if error is not None:
                     break
             failed[(state_id, node.uid)] = error
+        profile["sweep_seconds"] += time.perf_counter() - sweep_began
         self._note(hits, len(demanded) - len(failed))
         return failed
 

@@ -29,6 +29,7 @@ and document-order first-failing-call propagation.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -237,6 +238,8 @@ class NumpyEngine(BackendEngine):
                     stack.append((called_id, child_row, child))
 
         failed: Dict[PairKey, UndefinedTransductionError] = {}
+        profile = self._profile
+        profile["sweeps"] += 1
         count = len(demanded_row)
         if count:
             states = np.fromiter(demanded_state, np.int64, count)
@@ -253,7 +256,12 @@ class NumpyEngine(BackendEngine):
                 np.r_[True, heights[1:] != heights[:-1]]
             )
             level_ends = np.r_[level_starts[1:], count]
+            height_pairs = profile["height_pairs"]
+            height_seconds = profile["height_seconds"]
+            clock = time.perf_counter
+            sweep_began = clock()
             for start, end in zip(level_starts.tolist(), level_ends.tolist()):
+                level_began = clock()
                 if end - start < VECTOR_MIN:
                     self._sweep_scalar(
                         states[start:end].tolist(),
@@ -265,6 +273,14 @@ class NumpyEngine(BackendEngine):
                     self._sweep_level(
                         states[start:end], rows[start:end], failed, fail_mask
                     )
+                height = int(heights[start])
+                height_pairs[height] = (
+                    height_pairs.get(height, 0) + end - start
+                )
+                height_seconds[height] = (
+                    height_seconds.get(height, 0.0) + clock() - level_began
+                )
+            profile["sweep_seconds"] += clock() - sweep_began
         self._note(hits, count - len(failed))
         return failed
 
@@ -282,6 +298,7 @@ class NumpyEngine(BackendEngine):
                     state_id, self._nodes[row].label
                 )
                 fail_mask[state_id, row] = True
+        rule_hits = self._profile["rule_hits"]
         for rule in np.unique(rules[~undefined]).tolist():
             selector = rules == rule
             rule_rows = rows[selector]
@@ -292,6 +309,7 @@ class NumpyEngine(BackendEngine):
                 results = np.empty(rule_rows.size, object)
                 results.fill(constant)
                 self._store(rule_states, rule_rows, results)
+                rule_hits[rule] += rule_rows.size
                 continue
             ok = np.ones(rule_rows.size, bool)
             gathered = []
@@ -325,6 +343,7 @@ class NumpyEngine(BackendEngine):
             results = np.empty(len(built), object)
             results[:] = built
             self._store(rule_states, rule_rows, results)
+            rule_hits[rule] += len(built)
 
     def _store(self, states, rows, results) -> None:
         self._val[states, rows] = results
@@ -345,6 +364,7 @@ class NumpyEngine(BackendEngine):
         kid_rows = self._kid_rows
         values = self._val
         done_rows = self._done_rows
+        rule_hits = self._profile["rule_hits"]
         for state_id, row in zip(state_list, row_list):
             symbol = sym_list[row]
             rule = (
@@ -378,6 +398,7 @@ class NumpyEngine(BackendEngine):
                 result = self._constructors[rule](tuple(answers))
             values[state_id, row] = result
             done_rows[state_id].add(row)
+            rule_hits[rule] += 1
             self._entries += 1
 
     def _pair_value(self, state_id: int, tree: Tree) -> Optional[Tree]:

@@ -32,6 +32,7 @@ bitmask of all automaton states that accept it.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import UndefinedTransductionError
@@ -39,6 +40,7 @@ from repro.trees.tree import Tree
 from repro.transducers.rhs import StateName
 
 from repro.engine.backends import get_backend, note_batch, resolve_backend
+from repro.engine.profile import clear_profile, new_profile, profile_snapshot
 from repro.engine.compile import (
     OP_CALL,
     OP_CONST,
@@ -67,12 +69,13 @@ class Engine:
     #: Registry name; this engine is the ``tables`` execution backend.
     backend = "tables"
 
-    __slots__ = ("compiled", "_memo", "_stats")
+    __slots__ = ("compiled", "_memo", "_stats", "_profile")
 
     def __init__(self, compiled: CompiledDTOP):
         self.compiled = compiled
         self._memo: Dict[PairKey, Tree] = {}
         self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "batches": 0}
+        self._profile = new_profile(len(compiled.rule_templates))
 
     # ------------------------------------------------------------------
     # Core sweep
@@ -127,9 +130,34 @@ class Engine:
                     stack.append((called_id, child))
 
         # Sweep pass: children strictly before parents (height order).
+        # The profiler rides this loop: one per-rule counter bump per
+        # evaluation, and a clock read only at height-level boundaries
+        # (the order is height-sorted, so levels are contiguous runs).
         failed: Dict[PairKey, UndefinedTransductionError] = {}
         order = sorted(demanded.values(), key=lambda pair: pair[1].height)
-        for state_id, node in order:
+        profile = self._profile
+        profile["sweeps"] += 1
+        rule_hits = profile["rule_hits"]
+        height_pairs = profile["height_pairs"]
+        height_seconds = profile["height_seconds"]
+        clock = time.perf_counter
+        level_height = -1
+        level_start = 0
+        sweep_began = level_began = clock()
+        for index, (state_id, node) in enumerate(order):
+            height = node.height
+            if height != level_height:
+                now = clock()
+                if index > level_start:
+                    height_pairs[level_height] = (
+                        height_pairs.get(level_height, 0) + index - level_start
+                    )
+                    height_seconds[level_height] = (
+                        height_seconds.get(level_height, 0.0) + now - level_began
+                    )
+                level_height = height
+                level_start = index
+                level_began = now
             symbol_id = symbol_ids.get(node.label)
             rule = (
                 rule_of[state_id * num_symbols + symbol_id]
@@ -155,7 +183,17 @@ class Engine:
             memo[key] = self._replay(
                 compiled.rule_templates[rule], node, children
             )
+            rule_hits[rule] += 1
             misses += 1
+        now = clock()
+        if order and len(order) > level_start:
+            height_pairs[level_height] = (
+                height_pairs.get(level_height, 0) + len(order) - level_start
+            )
+            height_seconds[level_height] = (
+                height_seconds.get(level_height, 0.0) + now - level_began
+            )
+        profile["sweep_seconds"] += now - sweep_began
         stats["hits"] += hits
         stats["misses"] += misses
         note_batch(self.backend, hits, misses)
@@ -291,6 +329,22 @@ class Engine:
         self._stats["hits"] = 0
         self._stats["misses"] = 0
         self._stats["batches"] = 0
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+
+    def profile_snapshot(self) -> Dict[str, object]:
+        """Per-rule hit counts and per-height sweep timings.
+
+        See :func:`repro.engine.profile.profile_snapshot` for the shape;
+        counters accumulate across batches until :meth:`clear_profile`.
+        """
+        return profile_snapshot(self.compiled, self.backend, self._profile)
+
+    def clear_profile(self) -> None:
+        """Zero the profiler (the memo and cache stats are untouched)."""
+        clear_profile(self._profile)
 
 
 class AutomatonEngine:

@@ -30,6 +30,7 @@ from repro.engine import engine_for
 from repro.errors import ReproError
 from repro.learning.rpni import LearnedDTOP, rpni_dtop
 from repro.learning.sample import Sample
+from repro.obs.trace import NULL_TRACE
 from repro.serialize import (
     dtop_from_data,
     dtop_to_data,
@@ -91,6 +92,7 @@ class JsonTransformation:
         jobs: Optional[int] = None,
         service: Optional["TransformService"] = None,
         backend: Optional[str] = None,
+        trace=None,
     ) -> List[Union[JsonValue, ReproError]]:
         """Transform a batch of documents; per-document outcomes.
 
@@ -100,71 +102,80 @@ class JsonTransformation:
         through the compiled batch engine in one sweep; documents
         carrying scalars need the origin-tracking interpreter to
         rehydrate and run individually.  Failures are per-document.
+        A ``trace`` collects the pipeline's encode/execute/decode spans.
         """
+        if trace is None:
+            trace = NULL_TRACE
         prepared: List[Union[Tuple, ReproError]] = []
         engine_inputs = []
-        for document in documents:
-            try:
-                encoded, values = self.encoder.encode_with_values(document)
-            except ReproError as error:
-                prepared.append(error)
-                continue
-            except RecursionError:
-                prepared.append(
-                    ReproError(
-                        "document encoding exceeded the recursion limit "
-                        "(the JSON encoder is recursive over nesting)"
+        with trace.span("pipeline.encode", codec="json"):
+            for document in documents:
+                try:
+                    encoded, values = self.encoder.encode_with_values(document)
+                except ReproError as error:
+                    prepared.append(error)
+                    continue
+                except RecursionError:
+                    prepared.append(
+                        ReproError(
+                            "document encoding exceeded the recursion limit "
+                            "(the JSON encoder is recursive over nesting)"
+                        )
                     )
-                )
-                continue
-            prepared.append((encoded, values))
-            if not values:
-                engine_inputs.append(encoded)
+                    continue
+                prepared.append((encoded, values))
+                if not values:
+                    engine_inputs.append(encoded)
         if service is not None:
-            raw_outcomes = service.run_batch_outcomes(engine_inputs)
+            raw_outcomes = service.run_batch_outcomes(engine_inputs, trace=trace)
         elif jobs is not None and jobs > 1:
             from repro.serve import TransformService
 
             with TransformService(
                 self.transducer, jobs=jobs, backend=backend
             ) as pool:
-                raw_outcomes = pool.run_batch_outcomes(engine_inputs)
+                raw_outcomes = pool.run_batch_outcomes(
+                    engine_inputs, trace=trace
+                )
         else:
-            raw_outcomes = engine_for(
-                self.transducer, backend
-            ).run_batch_outcomes(engine_inputs)
+            engine = engine_for(self.transducer, backend)
+            with trace.span(
+                "execute", backend=engine.backend, documents=len(engine_inputs)
+            ):
+                raw_outcomes = engine.run_batch_outcomes(engine_inputs)
         outcomes = iter(raw_outcomes)
         results: List[Union[JsonValue, ReproError]] = []
-        for entry in prepared:
-            if isinstance(entry, ReproError):
-                results.append(entry)
-                continue
-            encoded, values = entry
-            try:
-                if values:
-                    output, origins = apply_with_origins(
-                        self.transducer, encoded
-                    )
-                    results.append(
-                        self._decode_with_values(output, origins, values)
-                    )
-                else:
-                    outcome = next(outcomes)
-                    if isinstance(outcome, ReproError):
-                        results.append(outcome)
-                    else:
-                        results.append(
-                            self._decode_with_values(outcome, {}, {})
+        with trace.span("pipeline.decode", codec="json"):
+            for entry in prepared:
+                if isinstance(entry, ReproError):
+                    results.append(entry)
+                    continue
+                encoded, values = entry
+                try:
+                    if values:
+                        output, origins = apply_with_origins(
+                            self.transducer, encoded
                         )
-            except ReproError as error:
-                results.append(error)
-            except RecursionError:
-                results.append(
-                    ReproError(
-                        "document translation exceeded the recursion limit "
-                        "(origin tracking and JSON decoding are recursive)"
+                        results.append(
+                            self._decode_with_values(output, origins, values)
+                        )
+                    else:
+                        outcome = next(outcomes)
+                        if isinstance(outcome, ReproError):
+                            results.append(outcome)
+                        else:
+                            results.append(
+                                self._decode_with_values(outcome, {}, {})
+                            )
+                except ReproError as error:
+                    results.append(error)
+                except RecursionError:
+                    results.append(
+                        ReproError(
+                            "document translation exceeded the recursion limit "
+                            "(origin tracking and JSON decoding are recursive)"
+                        )
                     )
-                )
         return results
 
     def apply_stream(

@@ -1,0 +1,29 @@
+"""Observability: per-request tracing and engine hot-path profiling.
+
+`repro.obs.trace` is the span recorder threaded through the server, the
+micro-batcher, the shard service, and the xml/json pipelines; the engine
+profiler lives with the engines (``repro.engine.profile``) and is
+surfaced over the wire by the ``profile`` protocol verb.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullTrace,
+    Span,
+    TraceContext,
+    new_trace,
+    new_trace_id,
+    render_trace_dict,
+    span_from_dict,
+)
+
+__all__ = [
+    "NULL_TRACE",
+    "NullTrace",
+    "Span",
+    "TraceContext",
+    "new_trace",
+    "new_trace_id",
+    "render_trace_dict",
+    "span_from_dict",
+]

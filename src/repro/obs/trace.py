@@ -1,0 +1,286 @@
+"""Cheap per-request tracing: monotonic-clock span trees.
+
+A :class:`TraceContext` records a tree of named spans against
+``time.monotonic``.  The design goal is that the *untraced* path costs
+one truthiness check: callers hold either a real context or the shared
+:data:`NULL_TRACE` singleton (falsy, every method a no-op), so hot paths
+are written ``if trace: trace.add_span(...)`` or simply
+``with trace.span("decode"):`` where the null context manager does
+nothing.
+
+Spans serialize to plain dicts (``to_dict``) so they can ride JSON
+responses and ``EventLog`` records, and rebuild from dicts
+(:func:`span_from_dict`) so worker-side spans recorded in another
+process can be grafted into the parent trace.  Monotonic timestamps are
+process-local, so serialized spans carry only *durations* — never
+absolute times.
+
+Trace ids are 16 hex chars from ``os.urandom``; each process mints its
+own, which is how the acceptance check "the execute span carries the
+worker-side trace id" can tell a sharded worker really ran the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "NULL_TRACE",
+    "NullTrace",
+    "Span",
+    "TraceContext",
+    "new_trace",
+    "new_trace_id",
+    "render_trace_dict",
+    "span_from_dict",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (process-local, collision-unlikely)."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed, named region; children are sub-regions.
+
+    ``started``/``ended`` are ``time.monotonic`` values in the recording
+    process.  A span rebuilt from a serialized dict keeps only its
+    duration (``started`` is pinned to ``0.0``).
+    """
+
+    __slots__ = ("name", "started", "ended", "meta", "children")
+
+    def __init__(
+        self,
+        name: str,
+        started: float,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.started = started
+        self.ended: Optional[float] = None
+        self.meta = meta
+        self.children: List["Span"] = []
+
+    @property
+    def duration_s(self) -> float:
+        if self.ended is None:
+            return 0.0
+        return max(0.0, self.ended - self.started)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1000.0, 4),
+        }
+        if self.meta:
+            data["meta"] = dict(self.meta)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a span (tree) from its ``to_dict`` form.
+
+    Used to graft worker-process spans into a parent-process trace; only
+    durations survive the round trip, which is all a cross-process span
+    can truthfully claim.
+    """
+    span = Span(str(data.get("name", "?")), 0.0, dict(data.get("meta") or {}) or None)
+    span.ended = float(data.get("duration_ms", 0.0)) / 1000.0
+    span.children = [span_from_dict(child) for child in data.get("children", ())]
+    return span
+
+
+class _SpanHandle:
+    """Context manager that closes one live span on exit."""
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "TraceContext", span: Span) -> None:
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.ended = self._trace._clock()
+        stack = self._trace._stack
+        if len(stack) > 1 and stack[-1] is self._span:
+            stack.pop()
+
+
+class TraceContext:
+    """A live trace: one root span plus a stack of open spans.
+
+    Not thread-safe by design — a context belongs to one request and is
+    touched by one thread at a time (handler coroutine, then the
+    batcher's dispatch bookkeeping on the same loop).  Cross-thread and
+    cross-process work records into its *own* context whose spans are
+    grafted back via :meth:`attach` / :func:`span_from_dict`.
+    """
+
+    __slots__ = ("trace_id", "root", "_stack", "_clock")
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        name: str = "request",
+        clock=time.monotonic,
+    ) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self._clock = clock
+        self.root = Span(name, clock())
+        self._stack: List[Span] = [self.root]
+
+    def __bool__(self) -> bool:
+        return True
+
+    def span(self, name: str, **meta: Any) -> _SpanHandle:
+        """Open a child span under the innermost open span."""
+        child = Span(name, self._clock(), meta or None)
+        self._stack[-1].children.append(child)
+        self._stack.append(child)
+        return _SpanHandle(self, child)
+
+    def add_span(
+        self,
+        name: str,
+        started: float,
+        ended: float,
+        meta: Optional[Dict[str, Any]] = None,
+        children: Optional[List[Span]] = None,
+    ) -> Span:
+        """Record an externally measured, already-finished span.
+
+        ``started``/``ended`` must come from the same monotonic clock;
+        the batcher uses this for queue/dispatch intervals it measured
+        itself.
+        """
+        span = Span(name, started, dict(meta) if meta else None)
+        span.ended = ended
+        if children:
+            span.children = list(children)
+        self._stack[-1].children.append(span)
+        return span
+
+    def attach(self, span: Span) -> None:
+        """Graft a finished span (e.g. rebuilt from a worker dict)."""
+        self._stack[-1].children.append(span)
+
+    def finish(self) -> float:
+        """Close the root span; returns its duration in seconds."""
+        if self.root.ended is None:
+            self.root.ended = self._clock()
+        del self._stack[1:]
+        return self.root.duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.root.ended is None:
+            self.finish()
+        data = self.root.to_dict()
+        data["trace_id"] = self.trace_id
+        return data
+
+    def render(self) -> str:
+        """Human-readable span tree (see :func:`render_trace_dict`)."""
+        return render_trace_dict(self.to_dict())
+
+
+class _NullSpanHandle:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTrace:
+    """The falsy no-op trace: the sampled-off fast path.
+
+    Shared singleton (:data:`NULL_TRACE`); every recording method does
+    nothing, so untraced requests pay only attribute lookups that are
+    never reached behind ``if trace:`` guards, or a no-op context
+    manager where a ``with`` block is clearer.
+    """
+
+    __slots__ = ()
+
+    trace_id = None
+    root = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, **meta: Any) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def add_span(self, name, started, ended, meta=None, children=None):
+        return None
+
+    def attach(self, span) -> None:
+        return None
+
+    def finish(self) -> float:
+        return 0.0
+
+    def to_dict(self) -> None:
+        return None
+
+    def render(self) -> str:
+        return ""
+
+
+NULL_TRACE = NullTrace()
+
+
+def new_trace(name: str = "request", trace_id: Optional[str] = None) -> TraceContext:
+    """A fresh live trace rooted at ``name``."""
+    return TraceContext(trace_id=trace_id, name=name)
+
+
+def _render_span(data: Dict[str, Any], prefix: str, last: bool, lines: List[str]) -> None:
+    connector = "`- " if last else "|- "
+    meta = data.get("meta") or {}
+    extras = "".join(
+        f" {key}={meta[key]}" for key in sorted(meta, key=str)
+    )
+    lines.append(
+        f"{prefix}{connector}{data.get('name', '?')} "
+        f"{float(data.get('duration_ms', 0.0)):.3f}ms{extras}"
+    )
+    children = data.get("children") or []
+    child_prefix = prefix + ("   " if last else "|  ")
+    for index, child in enumerate(children):
+        _render_span(child, child_prefix, index == len(children) - 1, lines)
+
+
+def render_trace_dict(data: Optional[Dict[str, Any]]) -> str:
+    """ASCII span tree for ``repro apply --trace`` and friends.
+
+    Accepts the ``to_dict`` form (local or received over the wire);
+    returns ``""`` for ``None`` so null traces render to nothing.
+    """
+    if not data:
+        return ""
+    trace_id = data.get("trace_id", "?")
+    meta = data.get("meta") or {}
+    extras = "".join(f" {key}={meta[key]}" for key in sorted(meta, key=str))
+    lines = [
+        f"trace {trace_id} {data.get('name', '?')} "
+        f"{float(data.get('duration_ms', 0.0)):.3f}ms{extras}"
+    ]
+    children = data.get("children") or []
+    for index, child in enumerate(children):
+        _render_span(child, "", index == len(children) - 1, lines)
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.engine import engine_for
 from repro.errors import ServiceError, UndefinedTransductionError
+from repro.obs.trace import Span, TraceContext, span_from_dict
 from repro.serve import shard
 from repro.trees.tree import Tree
 from repro.transducers.dtop import DTOP
@@ -84,14 +85,19 @@ def _pool_context():
 class _Chunk:
     """One dispatched chunk: its inputs and eventually its outcomes."""
 
-    __slots__ = ("trees", "future", "executor", "outcomes", "attempts")
+    __slots__ = ("trees", "future", "executor", "outcomes", "attempts", "trace")
 
-    def __init__(self, trees: List[Tree]):
+    def __init__(
+        self, trees: List[Tree], trace: Optional[TraceContext] = None
+    ):
         self.trees = trees
         self.future = None
         self.executor = None  # the pool the future was submitted to
         self.outcomes: Optional[List[Outcome]] = None
         self.attempts = 0
+        #: The requesting trace; its id rides the chunk to the worker and
+        #: the worker's execute spans are grafted back at resolution.
+        self.trace = trace
 
 
 class TransformService:
@@ -235,11 +241,13 @@ class TransformService:
 
     # -- dispatch and collection ----------------------------------------
 
-    def _dispatch(self, trees: List[Tree]) -> None:
+    def _dispatch(
+        self, trees: List[Tree], trace: Optional[TraceContext] = None
+    ) -> None:
         if not trees:
             return
         self._ensure_fresh()
-        chunk = _Chunk(trees)
+        chunk = _Chunk(trees, trace if trace else None)
         self._stats["chunks"] += 1
         self._stats["documents"] += len(trees)
         if self._parallel:
@@ -247,10 +255,11 @@ class TransformService:
             # (resolved-but-unconsumed chunks no longer hold pool slots).
             while len(self._unresolved) >= self.max_pending:
                 self._resolve(self._unresolved[0])
+            trace_id = chunk.trace.trace_id if chunk.trace else None
             encoded = shard.encode_forest(trees)
             try:
                 chunk.future = self._pool().submit(
-                    shard.worker_translate, encoded
+                    shard.worker_translate, encoded, trace_id
                 )
             except BrokenProcessPool:
                 # The pool died under an earlier chunk and nothing has
@@ -258,11 +267,21 @@ class TransformService:
                 self._stats["crashes"] += 1
                 self._restart_pool()
                 chunk.future = self._pool().submit(
-                    shard.worker_translate, encoded
+                    shard.worker_translate, encoded, trace_id
                 )
             chunk.executor = self._executor
             chunk.attempts += 1
             self._unresolved.append(chunk)
+        elif chunk.trace:
+            with chunk.trace.span(
+                "execute",
+                backend=self._source_engine.backend,
+                documents=len(trees),
+                jobs=1,
+            ):
+                chunk.outcomes = list(
+                    self._source_engine.run_batch_outcomes(trees)
+                )
         else:
             chunk.outcomes = list(
                 self._source_engine.run_batch_outcomes(trees)
@@ -282,7 +301,7 @@ class TransformService:
     def _resolve_future(self, chunk: _Chunk) -> None:
         while True:
             try:
-                pid, records, encoded = chunk.future.result()
+                result = chunk.future.result()
             except BrokenProcessPool:
                 self._stats["crashes"] += 1
                 # Only tear down the pool the dead future belonged to; a
@@ -299,12 +318,20 @@ class TransformService:
                     self._stats["errors"] += len(chunk.trees)
                     return
                 chunk.future = self._pool().submit(
-                    shard.worker_translate, shard.encode_forest(chunk.trees)
+                    shard.worker_translate,
+                    shard.encode_forest(chunk.trees),
+                    chunk.trace.trace_id if chunk.trace else None,
                 )
                 chunk.executor = self._executor
                 chunk.attempts += 1
                 continue
+            # Untraced workers return the historical 3-tuple; traced ones
+            # append a trace record (worker-minted trace id + spans).
+            pid, records, encoded = result[0], result[1], result[2]
+            trace_record = result[3] if len(result) > 3 else None
             chunk.outcomes = shard.decode_outcomes(records, encoded)
+            if chunk.trace and trace_record is not None:
+                self._graft_worker_trace(chunk, trace_record)
             self._stats["errors"] += sum(
                 1 for o in chunk.outcomes if not isinstance(o, Tree)
             )
@@ -314,6 +341,29 @@ class TransformService:
             per_shard["chunks"] += 1
             per_shard["documents"] += len(chunk.outcomes)
             return
+
+    @staticmethod
+    def _graft_worker_trace(chunk: _Chunk, trace_record: Dict) -> None:
+        """Land the worker-side spans in the requesting trace.
+
+        The grafted ``execute`` span's duration is the worker's own
+        measurement of its translate call, and its meta carries the
+        trace id the *worker process* minted — the proof that a sharded
+        worker, not the parent, ran the sweep.
+        """
+        worker_root = span_from_dict(trace_record["spans"])
+        execute = Span(
+            "execute",
+            0.0,
+            {
+                "worker_trace_id": trace_record["trace_id"],
+                "pid": trace_record["pid"],
+                "documents": len(chunk.trees),
+            },
+        )
+        execute.ended = worker_root.duration_s
+        execute.children = worker_root.children
+        chunk.trace.attach(execute)
 
     def _drain_head(self) -> Iterator[Outcome]:
         """Yield the outcomes of the oldest in-flight chunk."""
@@ -347,12 +397,18 @@ class TransformService:
         while self._inflight:
             yield from self._drain_head()
 
-    def map(self, trees: Iterable[Tree]) -> Iterator[Outcome]:
+    def map(
+        self,
+        trees: Iterable[Tree],
+        trace: Optional[TraceContext] = None,
+    ) -> Iterator[Outcome]:
         """Translate a forest; outcomes stream back in input order.
 
         Materializable forests are chunked cost-aware across the pool
         (:func:`~repro.serve.shard.chunk_forest`); dispatch and
-        collection overlap, bounded by ``max_pending``.
+        collection overlap, bounded by ``max_pending``.  An optional
+        ``trace`` collects one ``execute`` span per chunk (with
+        worker-side sub-spans on the parallel path).
         """
         if self._closed:
             raise ServiceError("service is closed")
@@ -367,7 +423,7 @@ class TransformService:
             )
         forest = list(trees)
         if not self._parallel:
-            self._dispatch(forest)
+            self._dispatch(forest, trace)
             while self._inflight:
                 yield from self._drain_head()
             return
@@ -379,13 +435,17 @@ class TransformService:
         for start, end in ranges:
             while len(self._inflight) >= self.max_pending:
                 yield from self._drain_head()
-            self._dispatch(forest[start:end])
+            self._dispatch(forest[start:end], trace)
         while self._inflight:
             yield from self._drain_head()
 
-    def run_batch_outcomes(self, trees: Iterable[Tree]) -> List[Outcome]:
+    def run_batch_outcomes(
+        self,
+        trees: Iterable[Tree],
+        trace: Optional[TraceContext] = None,
+    ) -> List[Outcome]:
         """Materialized :meth:`map` — the engine-compatible entry point."""
-        return list(self.map(trees))
+        return list(self.map(trees, trace))
 
     @property
     def stats(self) -> Dict[str, object]:

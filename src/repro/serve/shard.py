@@ -47,6 +47,7 @@ from repro.engine.backends import DEFAULT_BACKEND, get_backend
 from repro.engine.compile import OP_CONST, CompiledDTOP
 from repro.engine.execute import Engine
 from repro.errors import ServiceError, UndefinedTransductionError
+from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.trees.tree import Label, Tree
 
 #: Version tag of the engine payload; bump when the layout changes.
@@ -388,7 +389,7 @@ def init_worker(payload: tuple) -> None:
 
 
 def worker_translate(
-    chunk: EncodedForest,
+    chunk: EncodedForest, trace_id: Optional[str] = None
 ) -> Tuple[int, Tuple[NodeRecord, ...], List[EncodedOutcome]]:
     """Translate one encoded chunk inside a worker process.
 
@@ -396,18 +397,37 @@ def worker_translate(
     with outcomes positionally aligned to the chunk's roots.  Output
     trees across the chunk share one node table, so heavily overlapping
     results cost one record per distinct subtree on the wire.
+
+    ``trace_id`` is the parent's trace id riding the chunk payload; when
+    set, the return value grows a fourth element — a trace record
+    ``{"parent", "trace_id", "pid", "spans"}`` whose ``trace_id`` is
+    minted *in this process* (how the parent's execute span proves a
+    shard worker really ran) and whose ``spans`` time the worker-side
+    decode → execute → encode stages.  Untraced calls keep the
+    historical 3-tuple shape.
     """
     if _WORKER_ENGINE is None:  # pragma: no cover - misuse guard
         raise ServiceError("worker used before init_worker")
-    trees = decode_forest(chunk)
+    if trace_id is None:
+        trace = NULL_TRACE
+    else:
+        trace = TraceContext(name="worker.translate")
+    with trace.span("worker.decode_forest"):
+        trees = decode_forest(chunk)
     crash_label = os.environ.get(CRASH_LABEL_ENV)
     if crash_label is not None and any(t.label == crash_label for t in trees):
         os._exit(3)
-    raw = _WORKER_ENGINE.run_batch_outcomes(trees)
+    with trace.span(
+        "worker.execute",
+        backend=_WORKER_ENGINE.backend,
+        documents=len(trees),
+    ):
+        raw = _WORKER_ENGINE.run_batch_outcomes(trees)
     if _WORKER_ENGINE.memo_size() > WORKER_MEMO_LIMIT:
         _WORKER_ENGINE.clear_cache()
-    output_trees = [o for o in raw if isinstance(o, Tree)]
-    records, root_indexes = encode_forest(output_trees)
+    with trace.span("worker.encode_forest"):
+        output_trees = [o for o in raw if isinstance(o, Tree)]
+        records, root_indexes = encode_forest(output_trees)
     roots = iter(root_indexes)
     outcomes: List[EncodedOutcome] = []
     for outcome in raw:
@@ -415,7 +435,15 @@ def worker_translate(
             outcomes.append(("t", next(roots)))
         else:
             outcomes.append(("e", str(outcome)))
-    return os.getpid(), records, outcomes
+    if trace_id is None:
+        return os.getpid(), records, outcomes
+    trace_record = {
+        "parent": trace_id,
+        "trace_id": trace.trace_id,
+        "pid": os.getpid(),
+        "spans": trace.to_dict(),
+    }
+    return os.getpid(), records, outcomes, trace_record
 
 
 def decode_outcomes(

@@ -25,14 +25,23 @@ Protocol — one JSON object per ``\\n``-terminated line, UTF-8:
     entry is pinned for the whole stream: a hot reload mid-stream
     affects new requests, never the documents of an open stream.
 
-``health`` / ``stats`` / ``models`` / ``metrics`` / ``reload`` /
-``shutdown``
+``health`` / ``stats`` / ``models`` / ``metrics`` / ``profile`` /
+``reload`` / ``shutdown``
     Admin plane: liveness (``status`` is ``"serving"``, or
     ``"degraded"`` while the supervisor has a shard in quarantine),
     the registry + batcher + per-model service counters, the model
     list, the metrics snapshot (per-model counters and latency
-    quantiles as JSON, plus the Prometheus text exposition under
-    ``"text"``), a registry rescan, and graceful stop.
+    quantiles as JSON, engine artifact-cache and per-backend counters
+    folded in, plus the Prometheus text exposition under ``"text"``),
+    the per-model engine profiler snapshot (hot rules, per-height
+    sweep timings), a registry rescan, and graceful stop.
+
+Tracing: ``"trace": true`` on a ``transform`` request returns the
+request's span tree (decode → queue/batch.assemble → dispatch/execute →
+encode) under ``"trace"`` in the response; ``trace_sample_rate`` and
+``slow_ms`` record unsolicited traces server-side and emit them as
+``trace.sample`` / ``trace.slow`` events on the
+:class:`~repro.server.logging.EventLog`.
 
 Observability: every server owns a
 :class:`~repro.server.metrics.ServerMetrics` registry (request /
@@ -57,6 +66,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import sys
 import threading
 import time
@@ -70,6 +80,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.serve.stream import StreamParser
 from repro.server.batcher import (
     DEFAULT_MAX_BATCH,
@@ -131,10 +142,20 @@ class TransformServer:
         supervise: bool = True,
         supervise_interval: float = 1.0,
         supervisor_options: Optional[Dict] = None,
+        trace_sample_rate: float = 0.0,
+        slow_ms: Optional[float] = None,
     ):
         self.registry = registry
         self.host = host
         self.port = port
+        #: Fraction of transform requests traced unsolicited (0 disables
+        #: sampling; a client's ``"trace": true`` always wins).  Sampled
+        #: traces land on the event log as ``trace.sample`` events.
+        self.trace_sample_rate = max(0.0, min(1.0, float(trace_sample_rate)))
+        #: When set, *every* transform request is traced and those whose
+        #: end-to-end latency reaches the threshold emit a ``trace.slow``
+        #: event carrying the full span breakdown.
+        self.slow_ms = slow_ms
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.events = events if events is not None else EventLog(enabled=False)
         self.batcher = MicroBatcher(
@@ -332,6 +353,7 @@ class TransformServer:
             "stats": self._op_stats,
             "models": self._op_models,
             "metrics": self._op_metrics,
+            "profile": self._op_profile,
             "reload": self._op_reload,
             "shutdown": self._op_shutdown,
         }.get(op)
@@ -405,6 +427,22 @@ class TransformServer:
                 },
             )
             return
+        # Tracing: a client's ``"trace": true`` always records (and gets
+        # the span tree in its response); otherwise the sampler or a
+        # ``slow_ms`` watch may record unsolicited, landing on the event
+        # log instead.  Untraced requests carry the falsy NULL_TRACE —
+        # the fast path costs one truthiness check per span site.
+        trace_requested = bool(request.get("trace"))
+        sampled = (
+            not trace_requested
+            and self.trace_sample_rate > 0.0
+            and random.random() < self.trace_sample_rate
+        )
+        trace = (
+            TraceContext()
+            if trace_requested or sampled or self.slow_ms is not None
+            else NULL_TRACE
+        )
         # Unresolvable names share one label value: metric cardinality
         # must not be client-controlled.
         model_label = "<unresolved>"
@@ -422,8 +460,9 @@ class TransformServer:
                     f"model {entry.key} is a transformation bundle; "
                     f"the packed format serves raw transducer models"
                 )
-            tree = entry.parse_document(str(document))
-            outcome = await self.batcher.submit(entry, tree)
+            with trace.span("decode", model=entry.key):
+                tree = entry.parse_document(str(document))
+            outcome = await self.batcher.submit(entry, tree, trace=trace)
             if isinstance(outcome, Exception):
                 response = {
                     "id": request_id,
@@ -435,19 +474,23 @@ class TransformServer:
                     outcome_label = "overload"
             elif response_format == "packed":
                 outcome_label = "ok"
+                with trace.span("encode", format="packed"):
+                    packed = entry.render_packed(outcome)
                 response = {
                     "id": request_id,
                     "ok": True,
                     "model": entry.key,
-                    "packed": entry.render_packed(outcome),
+                    "packed": packed,
                 }
             else:
                 outcome_label = "ok"
+                with trace.span("encode", format="text"):
+                    rendered = entry.render_output(outcome)
                 response = {
                     "id": request_id,
                     "ok": True,
                     "model": entry.key,
-                    "document": entry.render_output(outcome),
+                    "document": rendered,
                 }
         except OverloadedError as error:
             outcome_label = "overload"
@@ -477,10 +520,67 @@ class TransformServer:
                     )
                 ),
             }
+        if trace_requested and trace:
+            # The span tree the client asked for: it is serialized (and
+            # the root closed) *before* the response is written, so it
+            # never contains the write span of its own response.
+            response["trace"] = trace.to_dict()
         self._note_outcome(
             model_label, outcome_label, started_at, backend_label
         )
-        await self._write(writer, response)
+        if trace:
+            write_started = time.monotonic()
+            await self._write(writer, response)
+            trace.add_span("write", write_started, time.monotonic())
+            self._finish_trace(
+                trace, trace_requested, sampled, model_label,
+                outcome_label, started_at,
+            )
+        else:
+            await self._write(writer, response)
+
+    def _finish_trace(
+        self,
+        trace: TraceContext,
+        requested: bool,
+        sampled: bool,
+        model_label: str,
+        outcome_label: str,
+        started_at: float,
+    ) -> None:
+        """Post-response trace bookkeeping: counters and trace.* events.
+
+        Runs after the response bytes are on the wire, so serializing
+        the span tree for the event log never adds to request latency —
+        only the overhead histogram knows it happened.
+        """
+        overhead_started = time.monotonic()
+        trace.finish()
+        elapsed_ms = (overhead_started - started_at) * 1000.0
+        mode = "requested" if requested else ("sampled" if sampled else "watch")
+        self.metrics.inc("repro_traces_total", {"mode": mode})
+        if self.slow_ms is not None and elapsed_ms >= self.slow_ms:
+            self.events.emit(
+                "trace.slow",
+                model=model_label,
+                outcome=outcome_label,
+                duration_ms=round(elapsed_ms, 3),
+                threshold_ms=self.slow_ms,
+                spans=trace.to_dict(),
+            )
+        elif sampled:
+            self.events.emit(
+                "trace.sample",
+                model=model_label,
+                outcome=outcome_label,
+                duration_ms=round(elapsed_ms, 3),
+                spans=trace.to_dict(),
+            )
+        self.metrics.observe(
+            "repro_trace_overhead_seconds",
+            None,
+            max(0.0, time.monotonic() - overhead_started),
+        )
 
     async def _op_transform_stream(self, request, reader, writer) -> None:
         """Chunked document-stream body → per-document response lines.
@@ -678,15 +778,60 @@ class TransformServer:
         await self._write(writer, payload)
 
     async def _op_metrics(self, request, _reader, writer) -> None:
-        """The metrics snapshot (JSON) plus the Prometheus exposition."""
+        """The metrics snapshot (JSON) plus the Prometheus exposition.
+
+        The snapshot folds in the process-wide engine counters — the
+        artifact cache (compiles avoided) and the per-backend batch/hit
+        tallies — so one scrape answers both "how is the server doing"
+        and "which execution path is doing the work".
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["engine_artifacts"] = artifact_stats()
+        snapshot["backends"] = backend_stats()
         await self._write(
             writer,
             {
                 "id": request.get("id"),
                 "ok": True,
-                "metrics": self.metrics.snapshot(),
+                "metrics": snapshot,
                 "text": self.metrics.render_prometheus(),
             },
+        )
+
+    async def _op_profile(self, request, _reader, writer) -> None:
+        """Per-model engine profiler snapshots (hot rules, sweep times).
+
+        ``{"op": "profile"}`` answers for every model whose engine has
+        been built; ``"model"`` narrows to one.  Models that never
+        compiled (no request reached them, no ``--warm``) are omitted —
+        a profile of nothing would claim zeros it never measured.
+        """
+        model = request.get("model")
+        try:
+            if model is not None:
+                entries = [self.registry.get(str(model))]
+            else:
+                entries = [
+                    self.registry.get(key) for key in self.registry.keys()
+                ]
+        except RegistryError as error:
+            await self._write(
+                writer,
+                {
+                    "id": request.get("id"),
+                    "ok": False,
+                    "error": _error_payload(error),
+                },
+            )
+            return
+        profiles: Dict[str, Dict] = {}
+        for entry in entries:
+            snapshot = entry.profile()
+            if snapshot is not None:
+                profiles[entry.key] = snapshot
+        await self._write(
+            writer,
+            {"id": request.get("id"), "ok": True, "profiles": profiles},
         )
 
     async def _op_stats(self, request, _reader, writer) -> None:
@@ -770,6 +915,8 @@ def serve_forever(
     log_json: bool = False,
     backend: Optional[str] = None,
     warm: bool = False,
+    trace_sample_rate: float = 0.0,
+    slow_ms: Optional[float] = None,
 ) -> int:
     """Run a transformation server until SIGINT/SIGTERM; returns 0.
 
@@ -792,6 +939,13 @@ def serve_forever(
     sharded pools — *before* the socket opens, so the first request
     never pays compilation; with fresh ``.engine`` sidecars the boot
     compiles nothing (the banner reports the split).
+
+    ``trace_sample_rate`` (CLI ``--trace-sample-rate``) traces that
+    fraction of transform requests unsolicited, emitting each as a
+    ``trace.sample`` event; ``slow_ms`` (CLI ``--slow-ms``) traces every
+    request and emits a ``trace.slow`` event with the span breakdown for
+    any whose end-to-end latency reaches the threshold.  Both event
+    kinds reach stderr only under ``log_json=True``.
     """
     registry = ModelRegistry(models_dir, jobs=jobs, backend=backend)
     if warm:
@@ -811,6 +965,8 @@ def serve_forever(
         max_wait_ms=max_wait_ms,
         max_pending=max_pending,
         events=EventLog(stream=sys.stderr, enabled=log_json),
+        trace_sample_rate=trace_sample_rate,
+        slow_ms=slow_ms,
     )
 
     async def _run() -> None:

@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import OverloadedError, ServiceError
+from repro.obs.trace import Span, TraceContext
 from repro.server.metrics import ServerMetrics
 from repro.server.registry import ModelEntry
 
@@ -89,12 +90,14 @@ class MicroBatcher:
             max_workers=8, thread_name_prefix="repro-batch"
         )
         self._own_executor = executor is None
-        #: Pending (document, future, admitted-at) triples per live
-        #: entry (by identity: a hot reload replaces the entry object,
-        #: so an old entry's pending batch drains on the machine it was
-        #: admitted to).
+        #: Pending (document, future, admitted-at, trace) tuples per
+        #: live entry (by identity: a hot reload replaces the entry
+        #: object, so an old entry's pending batch drains on the machine
+        #: it was admitted to).  ``trace`` is ``None`` on untraced
+        #: requests — the overwhelmingly common case.
         self._pending: Dict[
-            ModelEntry, List[Tuple[object, asyncio.Future, float]]
+            ModelEntry,
+            List[Tuple[object, asyncio.Future, float, Optional[TraceContext]]],
         ] = {}
         self._timers: Dict[ModelEntry, asyncio.TimerHandle] = {}
         self._locks: "weakref.WeakKeyDictionary[ModelEntry, asyncio.Lock]" = (
@@ -130,13 +133,19 @@ class MicroBatcher:
             "max_pending": self.max_pending,
         }
 
-    async def submit(self, entry: ModelEntry, document):
+    async def submit(
+        self,
+        entry: ModelEntry,
+        document,
+        trace: Optional[TraceContext] = None,
+    ):
         """Admit one document for ``entry``; await its outcome.
 
         Raises :class:`OverloadedError` (without queueing) when the
         pending bound is reached, and :class:`ServiceError` after
         :meth:`close`.  Any other failure is *returned* as the
-        request's outcome, exception instances included.
+        request's outcome, exception instances included.  A ``trace``
+        collects this request's queue/dispatch/execute spans.
         """
         if self._closed:
             raise ServiceError("batcher is closed")
@@ -159,7 +168,7 @@ class MicroBatcher:
         entry.acquire()
         try:
             queue = self._pending.setdefault(entry, [])
-            queue.append((document, future, self._clock()))
+            queue.append((document, future, self._clock(), trace if trace else None))
             if len(queue) >= self.max_batch:
                 self._flush(entry)
             elif len(queue) == 1:
@@ -182,7 +191,7 @@ class MicroBatcher:
         batches = list(self._pending.values())
         self._pending.clear()
         for batch in batches:
-            for _document, future, _admitted_at in batch:
+            for _document, future, _admitted_at, _trace in batch:
                 if not future.done():
                     future.set_result(ServiceError("server shutting down"))
         if self._own_executor:
@@ -203,21 +212,25 @@ class MicroBatcher:
         if not batch:
             return
         labels = {"model": entry.key}
+        closed_at = self._clock()
         self.metrics.observe(
             "repro_batch_assembly_seconds",
             labels,
-            max(0.0, self._clock() - batch[0][2]),
+            max(0.0, closed_at - batch[0][2]),
         )
         self.metrics.observe("repro_batch_documents", labels, len(batch))
-        asyncio.ensure_future(self._dispatch(entry, batch))
+        asyncio.ensure_future(self._dispatch(entry, batch, closed_at))
 
     async def _dispatch(
         self,
         entry: ModelEntry,
-        batch: List[Tuple[object, asyncio.Future, float]],
+        batch: List[
+            Tuple[object, asyncio.Future, float, Optional[TraceContext]]
+        ],
+        closed_at: float,
     ) -> None:
         """Translate one batch in the executor; resolve its futures."""
-        documents = [document for document, _future, _admitted_at in batch]
+        documents = [document for document, _future, _admitted_at, _t in batch]
         self._stats["batches"] += 1
         self._stats["documents"] += len(batch)
         if len(batch) > 1:
@@ -230,19 +243,30 @@ class MicroBatcher:
             lock = self._locks[entry] = asyncio.Lock()
         loop = asyncio.get_running_loop()
         labels = {"model": entry.key}
+        # One shared collector for the execute spans of this batch: the
+        # executor thread records into it during ``run_batch``, and its
+        # spans are grafted under every traced member's dispatch span
+        # afterwards (a batch runs once however many members watch it).
+        any_traced = any(trace is not None for *_rest, trace in batch)
+        batch_trace = TraceContext(name="batch") if any_traced else None
         dispatch_started = self._clock()
         try:
             async with lock:
                 dispatch_started = self._clock()
-                for _document, _future, admitted_at in batch:
+                for _document, _future, admitted_at, _trace in batch:
                     self.metrics.observe(
                         "repro_queue_wait_seconds",
                         labels,
                         max(0.0, dispatch_started - admitted_at),
                     )
-                outcomes = await loop.run_in_executor(
-                    self._executor, entry.run_batch, documents
-                )
+                if batch_trace is None:
+                    outcomes = await loop.run_in_executor(
+                        self._executor, entry.run_batch, documents
+                    )
+                else:
+                    outcomes = await loop.run_in_executor(
+                        self._executor, entry.run_batch, documents, batch_trace
+                    )
         except Exception as error:  # infrastructure, not per-document
             self._stats["dispatch_failures"] += 1
             if not isinstance(error, ServiceError):
@@ -250,14 +274,40 @@ class MicroBatcher:
                     f"batch dispatch failed: {type(error).__name__}: {error}"
                 )
             outcomes = [error] * len(batch)
+        dispatch_ended = self._clock()
         self.metrics.observe(
             "repro_dispatch_seconds",
             labels,
-            max(0.0, self._clock() - dispatch_started),
+            max(0.0, dispatch_ended - dispatch_started),
         )
         self._stats["errors"] += sum(
             1 for outcome in outcomes if isinstance(outcome, Exception)
         )
-        for (_document, future, _admitted_at), outcome in zip(batch, outcomes):
+        if any_traced:
+            executed = batch_trace.root.children
+            for _document, _future, admitted_at, trace in batch:
+                if trace is None:
+                    continue
+                queue_span = trace.add_span(
+                    "queue", admitted_at, dispatch_started
+                )
+                # The slice of this member's wait spent assembling the
+                # batch (clamped: stays inside the member's own queue
+                # interval even for late joiners).
+                assemble = Span("batch.assemble", admitted_at)
+                assemble.ended = min(
+                    max(admitted_at, closed_at), dispatch_started
+                )
+                queue_span.children.append(assemble)
+                trace.add_span(
+                    "dispatch",
+                    dispatch_started,
+                    dispatch_ended,
+                    meta={"batch_documents": len(batch)},
+                    children=executed,
+                )
+        for (_document, future, _admitted_at, _trace), outcome in zip(
+            batch, outcomes
+        ):
             if not future.done():
                 future.set_result(outcome)

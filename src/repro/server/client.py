@@ -157,6 +157,26 @@ class ServerClient:
         records = tuple(tuple(record) for record in packed["records"])
         return decode_forest((records, (packed["root"],)))[0]
 
+    def transform_traced(self, model: str, document: str):
+        """Transform one document and return ``(output, trace)``.
+
+        ``trace`` is the server-side span tree of this exact request
+        (decode → queue/batch.assemble → dispatch/execute → encode) as
+        a plain dict; feed it to
+        :func:`repro.obs.trace.render_trace_dict` for the human
+        rendering.  Raises the server's exact error on failure, like
+        :meth:`transform`.
+        """
+        response = self._request(
+            {
+                "op": "transform",
+                "model": model,
+                "document": document,
+                "trace": True,
+            }
+        )
+        return response["document"], response.get("trace")
+
     def try_transform(
         self, model: str, document: str
     ) -> Union[str, ReproError]:
@@ -231,6 +251,19 @@ class ServerClient:
     def metrics_text(self) -> str:
         """The Prometheus text exposition of the server's metrics."""
         return self._request({"op": "metrics"})["text"]
+
+    def profile(self, model: Optional[str] = None) -> Dict[str, Dict]:
+        """Engine profiler snapshots, keyed by model.
+
+        Each snapshot carries the serving backend, sweep counts and
+        seconds, per-rule hit counts (hottest first) and per-height
+        timings.  Models whose engines never built are omitted; pass
+        ``model`` to ask about one specifically.
+        """
+        payload: Dict = {"op": "profile"}
+        if model is not None:
+            payload["model"] = model
+        return self._request(payload)["profiles"]
 
     def reload(self) -> Dict[str, List[str]]:
         return self._request({"op": "reload"})["reload"]

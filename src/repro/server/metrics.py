@@ -47,6 +47,8 @@ family                                    type       labels
 ``repro_quarantines_total``               counter    ``model``
 ``repro_reload_total``                    counter    ``outcome``
 ``repro_shard_state``                     gauge      ``model``
+``repro_traces_total``                    counter    ``mode``
+``repro_trace_overhead_seconds``          histogram  —
 ========================================  =========  =======================
 
 ``outcome`` on requests is ``ok`` / ``error`` / ``overload``; overload
@@ -55,7 +57,11 @@ admission and wait in no queue — the overload regression tests pin the
 exclusion).  ``repro_reload_total`` outcomes mirror the registry's
 reload summary: ``loaded`` / ``reloaded`` / ``kept`` / ``dropped`` /
 ``failed``.  ``repro_shard_state`` is 0 healthy, 1 backoff, 2
-quarantined (the supervisor's state machine).
+quarantined (the supervisor's state machine).  ``mode`` on traces is
+``requested`` (client asked via ``"trace": true``) / ``sampled``
+(``--trace-sample-rate`` picked it) / ``watch`` (``--slow-ms`` traces
+everything); the overhead histogram records the post-response cost of
+serializing and logging each trace.
 """
 
 from __future__ import annotations
@@ -131,8 +137,15 @@ class Histogram:
         Uses the fractional order statistic ``q * (count - 1)`` (the
         same definition as numpy's default interpolation) and places it
         by linear interpolation inside its bucket, clamped to the
-        observed min/max.  Empty histograms answer ``0.0``.
+        observed min/max.  The edges are pinned exactly: an empty
+        histogram answers ``0.0``, a single observation answers itself
+        for every ``q``, ``q <= 0`` answers the observed minimum and
+        ``q >= 1`` the observed maximum.  A NaN ``q`` is rejected — it
+        compares false with everything and would silently fall through
+        to the maximum.
         """
+        if q != q:
+            raise ValueError("quantile q must not be NaN")
         if self.count == 0:
             return 0.0
         if q <= 0.0 or self.count == 1:
@@ -234,6 +247,14 @@ FAMILIES: Dict[str, Tuple[str, str]] = {
         "gauge",
         "Supervisor state per model shard (0 healthy, 1 backoff, "
         "2 quarantined)",
+    ),
+    "repro_traces_total": (
+        "counter",
+        "Transform requests traced, by mode (requested/sampled/watch)",
+    ),
+    "repro_trace_overhead_seconds": (
+        "histogram",
+        "Post-response cost of serializing and logging one trace",
     ),
 }
 

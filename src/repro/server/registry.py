@@ -431,23 +431,48 @@ class ModelEntry:
         records, roots = encode_forest([outcome])
         return {"records": records, "root": roots[0]}
 
-    def run_batch(self, documents: List) -> List:
+    def run_batch(self, documents: List, trace=None) -> List:
         """Translate a coalesced batch; per-document outcomes.
 
         Outcomes are output trees or exception instances — one bad
         document never fails the batch (the engine and
         ``XMLTransformation.apply_batch`` both report per document).
+        An optional :class:`~repro.obs.trace.TraceContext` collects the
+        batch's execute (and pipeline encode/decode) spans.
         """
         self.requests += len(documents)
         engine = self.ensure_engine()
         service = self.service()
         if self.kind in (KIND_XML, KIND_JSON):
             return self.transformation.apply_batch(
-                documents, service=service, backend=self.backend
+                documents, service=service, backend=self.backend, trace=trace
             )
         if service is not None:
-            return service.run_batch_outcomes(documents)
+            return service.run_batch_outcomes(documents, trace=trace)
+        if trace:
+            with trace.span(
+                "execute", backend=engine.backend, documents=len(documents)
+            ):
+                return engine.run_batch_outcomes(documents)
         return engine.run_batch_outcomes(documents)
+
+    def profile(self) -> Optional[Dict[str, object]]:
+        """The in-process engine's profiler snapshot, or ``None``.
+
+        Peeks at the already-compiled engine — never compiles one (a
+        registered-but-never-exercised model answers ``None``).  For
+        sharded entries (``jobs > 1``) this covers only the parent-side
+        engine; worker-process engines profile in their own processes.
+        """
+        engines = getattr(self.machine, "_engine", None)
+        if engines is None:
+            return None
+        from repro.engine.backends import resolve_backend
+
+        engine = engines.engines.get(resolve_backend(self.backend))
+        if engine is None:
+            return None
+        return engine.profile_snapshot()
 
     def describe(self) -> Dict[str, object]:
         info = {

@@ -20,6 +20,7 @@ from repro.engine import engine_for
 from repro.errors import ReproError
 from repro.learning.rpni import LearnedDTOP, rpni_dtop
 from repro.learning.sample import Sample
+from repro.obs.trace import NULL_TRACE
 from repro.transducers.dtop import DTOP
 from repro.transducers.origins import apply_with_origins
 from repro.xml.dtd import DTD, PCDATA_SYMBOL
@@ -79,6 +80,7 @@ class XMLTransformation:
         jobs: Optional[int] = None,
         service: Optional["TransformService"] = None,
         backend: Optional[str] = None,
+        trace=None,
     ) -> List[Union[UTree, ReproError]]:
         """Transform a batch of documents; per-document outcomes.
 
@@ -99,68 +101,83 @@ class XMLTransformation:
         batches — the streaming path of :meth:`apply_stream` does.
         Outcomes are identical either way.  ``backend`` names the
         execution backend for the engine path (and for pools created by
-        this call); a live ``service`` carries its own.
+        this call); a live ``service`` carries its own.  A ``trace``
+        collects the pipeline's encode/execute/decode spans.
         """
+        if trace is None:
+            trace = NULL_TRACE
         prepared: List[Union[Tuple, ReproError]] = []
         engine_inputs = []
-        for document in documents:
-            try:
-                encoded, values = self.input_encoder.encode_with_values(document)
-            except ReproError as error:
-                prepared.append(error)
-                continue
-            except RecursionError:
-                prepared.append(
-                    ReproError(
-                        "document encoding exceeded the recursion limit "
-                        "(the DTD encoder is recursive)"
+        with trace.span("pipeline.encode", codec="xml"):
+            for document in documents:
+                try:
+                    encoded, values = self.input_encoder.encode_with_values(
+                        document
                     )
-                )
-                continue
-            prepared.append((encoded, values))
-            if not values:
-                engine_inputs.append(encoded)
+                except ReproError as error:
+                    prepared.append(error)
+                    continue
+                except RecursionError:
+                    prepared.append(
+                        ReproError(
+                            "document encoding exceeded the recursion limit "
+                            "(the DTD encoder is recursive)"
+                        )
+                    )
+                    continue
+                prepared.append((encoded, values))
+                if not values:
+                    engine_inputs.append(encoded)
         if service is not None:
-            raw_outcomes = service.run_batch_outcomes(engine_inputs)
+            raw_outcomes = service.run_batch_outcomes(engine_inputs, trace=trace)
         elif jobs is not None and jobs > 1:
             from repro.serve import TransformService
 
             with TransformService(
                 self.transducer, jobs=jobs, backend=backend
             ) as pool:
-                raw_outcomes = pool.run_batch_outcomes(engine_inputs)
+                raw_outcomes = pool.run_batch_outcomes(
+                    engine_inputs, trace=trace
+                )
         else:
-            raw_outcomes = engine_for(
-                self.transducer, backend
-            ).run_batch_outcomes(engine_inputs)
+            engine = engine_for(self.transducer, backend)
+            with trace.span(
+                "execute", backend=engine.backend, documents=len(engine_inputs)
+            ):
+                raw_outcomes = engine.run_batch_outcomes(engine_inputs)
         outcomes = iter(raw_outcomes)
         results: List[Union[UTree, ReproError]] = []
-        for entry in prepared:
-            if isinstance(entry, ReproError):
-                results.append(entry)
-                continue
-            encoded, values = entry
-            try:
-                if values:
-                    output, origins = apply_with_origins(self.transducer, encoded)
-                    results.append(
-                        self._decode_with_values(output, origins, values)
-                    )
-                else:
-                    outcome = next(outcomes)
-                    if isinstance(outcome, ReproError):
-                        results.append(outcome)
+        with trace.span("pipeline.decode", codec="xml"):
+            for entry in prepared:
+                if isinstance(entry, ReproError):
+                    results.append(entry)
+                    continue
+                encoded, values = entry
+                try:
+                    if values:
+                        output, origins = apply_with_origins(
+                            self.transducer, encoded
+                        )
+                        results.append(
+                            self._decode_with_values(output, origins, values)
+                        )
                     else:
-                        results.append(self._decode_with_values(outcome, {}, {}))
-            except ReproError as error:
-                results.append(error)
-            except RecursionError:
-                results.append(
-                    ReproError(
-                        "document translation exceeded the recursion limit "
-                        "(origin tracking and XML decoding are recursive)"
+                        outcome = next(outcomes)
+                        if isinstance(outcome, ReproError):
+                            results.append(outcome)
+                        else:
+                            results.append(
+                                self._decode_with_values(outcome, {}, {})
+                            )
+                except ReproError as error:
+                    results.append(error)
+                except RecursionError:
+                    results.append(
+                        ReproError(
+                            "document translation exceeded the recursion limit "
+                            "(origin tracking and XML decoding are recursive)"
+                        )
                     )
-                )
         return results
 
     def apply_stream(

@@ -1,0 +1,128 @@
+"""The structured event log: sinks, serialization fallback, atomicity.
+
+Pinned behaviors:
+
+* sinks fire in registration order, each with its *own* copy of the
+  record (one sink mutating its dict must not poison the next);
+* non-JSON-serializable payload values fall back to ``str`` in the
+  stream rendering instead of raising (``default=str``);
+* concurrent emitters never interleave characters within a line: every
+  stream line parses as one complete JSON object (the writer makes one
+  ``write`` call per line).
+"""
+
+import io
+import json
+import threading
+
+from repro.server.logging import EventLog
+
+
+class TestSinks:
+    def test_sinks_fire_in_registration_order(self):
+        order = []
+        log = EventLog(enabled=True)
+        log.add_sink(lambda record: order.append(("first", record["event"])))
+        log.add_sink(lambda record: order.append(("second", record["event"])))
+        log.emit("boot")
+        assert order == [("first", "boot"), ("second", "boot")]
+
+    def test_each_sink_gets_its_own_copy(self):
+        seen = []
+        log = EventLog(enabled=True)
+        log.add_sink(lambda record: record.clear())  # hostile sink
+        log.add_sink(seen.append)
+        log.emit("boot", detail="kept")
+        assert seen[0]["event"] == "boot"
+        assert seen[0]["detail"] == "kept"
+
+    def test_records_carry_a_timestamp(self):
+        log = EventLog(enabled=True, clock=lambda: 12.3456789)
+        seen = []
+        log.add_sink(seen.append)
+        log.emit("tick")
+        assert seen[0]["ts"] == 12.345679
+
+    def test_disabled_log_is_a_noop(self):
+        seen = []
+        log = EventLog(enabled=False)
+        log.add_sink(seen.append)
+        log.emit("ignored")
+        assert seen == []
+        assert not log.enabled
+
+    def test_enabled_needs_a_destination(self):
+        assert not EventLog(enabled=True).enabled
+        assert EventLog(enabled=True).add_sink(print).enabled
+        assert EventLog(stream=io.StringIO(), enabled=True).enabled
+
+
+class TestStreamSerialization:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = EventLog(stream=stream, enabled=True)
+        log.emit("first", n=1)
+        log.emit("second", n=2)
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == [
+            "first", "second",
+        ]
+
+    def test_non_serializable_payloads_fall_back_to_str(self):
+        stream = io.StringIO()
+        log = EventLog(stream=stream, enabled=True)
+
+        class Opaque:
+            def __str__(self):
+                return "<opaque>"
+
+        log.emit("odd", payload=Opaque())
+        record = json.loads(stream.getvalue())
+        assert record["payload"] == "<opaque>"
+
+    def test_keys_are_sorted_for_stable_diffs(self):
+        stream = io.StringIO()
+        log = EventLog(stream=stream, enabled=True)
+        log.emit("evt", zebra=1, alpha=2)
+        line = stream.getvalue()
+        assert line.index('"alpha"') < line.index('"zebra"')
+
+
+class TestLineAtomicity:
+    THREADS = 8
+    PER_THREAD = 50
+
+    def test_concurrent_emits_never_interleave_within_a_line(self):
+        # A real file write of one short line is atomic; StringIO.write
+        # is too (one call under the GIL).  What this pins is that the
+        # log makes exactly ONE write call per record — a writer that
+        # split line and newline, or serialized in chunks, would shear
+        # under this load.
+        class OneWriteStream(io.StringIO):
+            def write(self, text):
+                assert text.endswith("\n"), "partial line write"
+                assert text.count("\n") == 1
+                return super().write(text)
+
+        stream = OneWriteStream()
+        log = EventLog(stream=stream, enabled=True)
+
+        def hammer(worker):
+            for index in range(self.PER_THREAD):
+                log.emit("spam", worker=worker, index=index)
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,))
+            for n in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == self.THREADS * self.PER_THREAD
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # every line is complete JSON
+            seen.add((record["worker"], record["index"]))
+        assert len(seen) == self.THREADS * self.PER_THREAD

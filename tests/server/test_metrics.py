@@ -87,6 +87,54 @@ class TestHistogramExactness:
         assert histogram.quantile(0.5) <= 5.0
 
 
+class TestQuantileEdgeCases:
+    """The pinned edge contract: empty → 0, one sample → itself,
+    q ≤ 0 → min, q ≥ 1 → max, NaN → ValueError."""
+
+    def test_empty_histogram_answers_zero_for_every_q(self):
+        histogram = Histogram()
+        for q in (-1.0, 0.0, 0.5, 1.0, 2.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_out_of_range_q_clamps_to_the_observed_extremes(self):
+        histogram = Histogram()
+        histogram.record(0.002)
+        histogram.record(7.0)
+        assert histogram.quantile(-0.5) == 0.002
+        assert histogram.quantile(0.0) == 0.002
+        assert histogram.quantile(1.0) == 7.0
+        assert histogram.quantile(1.5) == 7.0
+
+    def test_two_samples_interpolate_between_them(self):
+        histogram = Histogram()
+        histogram.record(0.010)
+        histogram.record(0.020)
+        for q in (0.25, 0.5, 0.75):
+            assert 0.010 <= histogram.quantile(q) <= 0.020
+
+    def test_single_observation_beyond_the_last_bucket(self):
+        # One sample in the +Inf bucket: every quantile is that sample
+        # (the count==1 short-circuit, not bucket interpolation).
+        histogram = Histogram()
+        histogram.record(500.0)
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == 500.0
+
+    def test_nan_q_is_rejected(self):
+        histogram = Histogram()
+        histogram.record(0.5)
+        histogram.record(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(math.nan)
+
+    def test_summary_of_empty_histogram_is_all_zero(self):
+        summary = Histogram().summary()
+        assert summary == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+
 class TestQuantileAccuracy:
     QS = (0.50, 0.95, 0.99)
 
